@@ -1,0 +1,201 @@
+//! A shared peer directory — the "who is in radio range" analogue for the
+//! live runtime.
+//!
+//! In the DES the simulator derives connectivity from geometry; in the
+//! threaded runtime every node actor registers here, and a broadcast is a
+//! clone-to-all. Tests can restrict visibility with
+//! [`Directory::set_reachable`] to emulate partial connectivity.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::mailbox::Addr;
+
+/// Clonable, thread-safe registry of peer addresses keyed by `u32` node id.
+pub struct Directory<M> {
+    inner: Arc<RwLock<Inner<M>>>,
+}
+
+struct Inner<M> {
+    peers: HashMap<u32, Addr<M>>,
+    /// Optional reachability restriction: `reachable[a]` is the set of ids
+    /// `a` may talk to. Absent key = unrestricted.
+    reachable: HashMap<u32, Vec<u32>>,
+}
+
+impl<M> Clone for Directory<M> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<M: Send + 'static> Directory<M> {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(Inner {
+                peers: HashMap::new(),
+                reachable: HashMap::new(),
+            })),
+        }
+    }
+
+    /// Registers (or replaces) a peer.
+    pub fn register(&self, id: u32, addr: Addr<M>) {
+        self.inner.write().peers.insert(id, addr);
+    }
+
+    /// Removes a peer (e.g. node failure in tests).
+    pub fn deregister(&self, id: u32) {
+        self.inner.write().peers.remove(&id);
+    }
+
+    /// Address of a peer, if registered and reachable from `from`.
+    pub fn lookup(&self, from: u32, id: u32) -> Option<Addr<M>> {
+        let g = self.inner.read();
+        if let Some(allowed) = g.reachable.get(&from) {
+            if !allowed.contains(&id) {
+                return None;
+            }
+        }
+        g.peers.get(&id).cloned()
+    }
+
+    /// Restricts which ids `from` can reach (emulated topology).
+    pub fn set_reachable(&self, from: u32, ids: Vec<u32>) {
+        self.inner.write().reachable.insert(from, ids);
+    }
+
+    /// Sends `msg` to `to` if reachable; returns success.
+    pub fn send(&self, from: u32, to: u32, msg: M) -> bool {
+        match self.lookup(from, to) {
+            Some(addr) => addr.send(msg),
+            None => false,
+        }
+    }
+
+    /// Number of registered peers.
+    pub fn len(&self) -> usize {
+        self.inner.read().peers.len()
+    }
+
+    /// True when no peer is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ids currently reachable from `from` (excludes `from` itself).
+    pub fn reachable_ids(&self, from: u32) -> Vec<u32> {
+        let g = self.inner.read();
+        let mut ids: Vec<u32> = match g.reachable.get(&from) {
+            Some(allowed) => allowed
+                .iter()
+                .filter(|id| g.peers.contains_key(id))
+                .copied()
+                .collect(),
+            None => g.peers.keys().copied().collect(),
+        };
+        ids.retain(|&id| id != from);
+        ids.sort_unstable();
+        ids
+    }
+}
+
+impl<M: Clone + Send + 'static> Directory<M> {
+    /// Clone-delivers `msg` to every peer reachable from `from` (not to
+    /// `from` itself). Returns the number of deliveries.
+    pub fn broadcast(&self, from: u32, msg: &M) -> usize {
+        let targets = self.reachable_ids(from);
+        let mut n = 0;
+        for id in targets {
+            if self.send(from, id, msg.clone()) {
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+impl<M: Send + 'static> Default for Directory<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{Actor, ActorCtx, ActorSystem};
+    use crossbeam::channel::{unbounded, Sender};
+
+    struct Sink {
+        id: u32,
+        out: Sender<(u32, u32)>,
+    }
+    impl Actor for Sink {
+        type Msg = u32;
+        fn handle(&mut self, _ctx: &ActorCtx<u32>, msg: u32) {
+            let _ = self.out.send((self.id, msg));
+        }
+    }
+
+    fn three_sinks() -> (
+        ActorSystem,
+        Directory<u32>,
+        crossbeam::channel::Receiver<(u32, u32)>,
+    ) {
+        let mut sys = ActorSystem::new();
+        let dir = Directory::new();
+        let (tx, rx) = unbounded();
+        for id in 0..3 {
+            let addr = sys.spawn(
+                format!("sink-{id}"),
+                Sink {
+                    id,
+                    out: tx.clone(),
+                },
+            );
+            dir.register(id, addr);
+        }
+        (sys, dir, rx)
+    }
+
+    #[test]
+    fn broadcast_excludes_sender() {
+        let (mut sys, dir, rx) = three_sinks();
+        let n = dir.broadcast(0, &42);
+        assert_eq!(n, 2);
+        let mut got: Vec<u32> = (0..2).map(|_| rx.recv().unwrap().0).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        sys.shutdown();
+    }
+
+    #[test]
+    fn reachability_restriction_applies() {
+        let (mut sys, dir, rx) = three_sinks();
+        dir.set_reachable(0, vec![2]);
+        assert!(!dir.send(0, 1, 7));
+        assert!(dir.send(0, 2, 7));
+        assert_eq!(rx.recv().unwrap(), (2, 7));
+        assert_eq!(dir.broadcast(0, &9), 1);
+        assert_eq!(rx.recv().unwrap(), (2, 9));
+        // Node 1 is unrestricted.
+        assert_eq!(dir.reachable_ids(1), vec![0, 2]);
+        sys.shutdown();
+    }
+
+    #[test]
+    fn deregister_removes_target() {
+        let (mut sys, dir, _rx) = three_sinks();
+        assert_eq!(dir.len(), 3);
+        dir.deregister(1);
+        assert_eq!(dir.len(), 2);
+        assert!(!dir.send(0, 1, 5));
+        sys.shutdown();
+    }
+}

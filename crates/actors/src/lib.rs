@@ -1,0 +1,24 @@
+//! # qosc-actors — a minimal threaded actor runtime
+//!
+//! The negotiation protocol of `qosc-core` is written sans-IO; this crate
+//! is its *live* transport, complementing the deterministic DES of
+//! `qosc-netsim`. Each node becomes an [`Actor`] on its own OS thread with
+//! an unbounded crossbeam mailbox; a process-wide [`Directory`] plays the
+//! role the radio plays in simulation (lookup = "in range", broadcast =
+//! clone-to-all, with an optional reachability restriction for emulating
+//! partial topologies).
+//!
+//! Guarantees: per-actor messages are handled in mailbox (FIFO) order on a
+//! single thread, so actor state needs no locks; [`ActorSystem::shutdown`]
+//! (and `Drop`) stops and joins every thread, so tests cannot leak threads.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod directory;
+mod mailbox;
+mod system;
+
+pub use directory::Directory;
+pub use mailbox::Addr;
+pub use system::{Actor, ActorCtx, ActorSystem};

@@ -1,0 +1,91 @@
+//! Mailboxes and addresses.
+//!
+//! An [`Addr<M>`] is a cheap, clonable handle for sending `M`-typed
+//! messages into an actor's mailbox (an unbounded crossbeam channel). The
+//! mailbox side is private to the runtime.
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+
+/// Control wrapper around user messages.
+#[derive(Debug)]
+pub(crate) enum Envelope<M> {
+    /// An application message.
+    User(M),
+    /// Graceful-stop request; the actor drains nothing further.
+    Stop,
+}
+
+/// Sending handle to one actor's mailbox.
+#[derive(Debug)]
+pub struct Addr<M> {
+    pub(crate) tx: Sender<Envelope<M>>,
+}
+
+impl<M> Clone for Addr<M> {
+    fn clone(&self) -> Self {
+        Self {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<M> Addr<M> {
+    /// Sends a message; returns `false` if the actor has terminated.
+    pub fn send(&self, msg: M) -> bool {
+        match self.tx.try_send(Envelope::User(msg)) {
+            Ok(()) => true,
+            Err(TrySendError::Disconnected(_)) => false,
+            // Unbounded channels never report Full.
+            Err(TrySendError::Full(_)) => unreachable!("unbounded mailbox"),
+        }
+    }
+
+    /// Requests a graceful stop.
+    pub fn stop(&self) -> bool {
+        self.tx.try_send(Envelope::Stop).is_ok()
+    }
+}
+
+/// Creates a mailbox pair.
+pub(crate) fn mailbox<M>() -> (Addr<M>, Receiver<Envelope<M>>) {
+    let (tx, rx) = unbounded();
+    (Addr { tx }, rx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive() {
+        let (addr, rx) = mailbox::<u32>();
+        assert!(addr.send(7));
+        match rx.recv().unwrap() {
+            Envelope::User(v) => assert_eq!(v, 7),
+            Envelope::Stop => panic!("expected user message"),
+        }
+    }
+
+    #[test]
+    fn clone_shares_mailbox() {
+        let (addr, rx) = mailbox::<u32>();
+        let addr2 = addr.clone();
+        addr.send(1);
+        addr2.send(2);
+        let mut got = vec![];
+        for _ in 0..2 {
+            if let Envelope::User(v) = rx.recv().unwrap() {
+                got.push(v);
+            }
+        }
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn send_to_dropped_mailbox_fails() {
+        let (addr, rx) = mailbox::<u32>();
+        drop(rx);
+        assert!(!addr.send(1));
+        assert!(!addr.stop());
+    }
+}

@@ -1,0 +1,273 @@
+//! Offline allocation instances.
+//!
+//! Baselines and the exhaustive optimum operate on a *snapshot* of the
+//! system — nodes with capacities and the task set — rather than through
+//! the message protocol, so that allocation policies can be compared on
+//! identical inputs without protocol noise (experiments F1, F2, F4, T3).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use qosc_core::{EvalConfig, Evaluator, LinearPenalty, RewardModel, TaskInput};
+use qosc_resources::{
+    AdmissionControl, DemandModel, ResourceVector, SchedulingPolicy,
+};
+use qosc_spec::{QosSpec, ResolvedRequest, TaskId};
+
+/// Node id type shared with `qosc-core`.
+pub type Pid = qosc_core::Pid;
+
+/// One node of an offline instance.
+pub struct OfflineNode {
+    /// Node id.
+    pub id: Pid,
+    /// Total capacity (the snapshot assumes it is all available).
+    pub capacity: ResourceVector,
+    /// Declared payload bandwidth (kbit/s) for comm-cost estimation.
+    pub link_kbps: f64,
+    /// CPU scheduling policy.
+    pub policy: SchedulingPolicy,
+    /// Demand models by spec name.
+    pub models: HashMap<String, Arc<dyn DemandModel>>,
+    /// The node's local reward model for the §5 heuristic (nodes may run
+    /// different degradation policies; `None` = linear default).
+    pub reward: Option<Arc<dyn RewardModel>>,
+}
+
+impl OfflineNode {
+    /// Looks up the demand model for a spec.
+    pub fn model_for(&self, spec: &QosSpec) -> Option<&Arc<dyn DemandModel>> {
+        self.models.get(spec.name())
+    }
+}
+
+/// One task of an offline instance (request already resolved).
+pub struct OfflineTask {
+    /// Task id.
+    pub id: TaskId,
+    /// Application spec.
+    pub spec: QosSpec,
+    /// Resolved user request.
+    pub request: ResolvedRequest,
+    /// Input payload bytes.
+    pub input_bytes: u64,
+    /// Output payload bytes.
+    pub output_bytes: u64,
+}
+
+/// A complete allocation problem snapshot.
+pub struct Instance {
+    /// The node where the user requested the service (comm cost 0 there).
+    pub requester: Pid,
+    /// Available nodes (must include the requester to allow local wins).
+    pub nodes: Vec<OfflineNode>,
+    /// The service's independent tasks.
+    pub tasks: Vec<OfflineTask>,
+    /// Evaluation knobs shared by all policies.
+    pub eval: EvalConfig,
+}
+
+/// One task's placement in an allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Executing node.
+    pub node: Pid,
+    /// Ladder level per requested attribute.
+    pub levels: Vec<usize>,
+    /// Eq. 2 distance of the served quality.
+    pub distance: f64,
+    /// Payload shipping cost (seconds; 0 when local).
+    pub comm_cost: f64,
+    /// Resource demand of the placed task at the served quality.
+    pub demand: ResourceVector,
+}
+
+/// Result of an allocation policy.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Allocation {
+    /// Placement per task.
+    pub placements: BTreeMap<TaskId, Placement>,
+    /// Tasks no policy candidate could serve.
+    pub unassigned: Vec<TaskId>,
+}
+
+impl Allocation {
+    /// Σ distance over placed tasks.
+    pub fn total_distance(&self) -> f64 {
+        self.placements.values().map(|p| p.distance).sum()
+    }
+
+    /// Mean distance over placed tasks (0 when none).
+    pub fn mean_distance(&self) -> f64 {
+        if self.placements.is_empty() {
+            0.0
+        } else {
+            self.total_distance() / self.placements.len() as f64
+        }
+    }
+
+    /// Σ comm cost over placed tasks.
+    pub fn total_comm_cost(&self) -> f64 {
+        self.placements.values().map(|p| p.comm_cost).sum()
+    }
+
+    /// Number of distinct executing nodes.
+    pub fn distinct_members(&self) -> usize {
+        let mut v: Vec<Pid> = self.placements.values().map(|p| p.node).collect();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// True when every task was placed.
+    pub fn complete(&self) -> bool {
+        self.unassigned.is_empty()
+    }
+
+    /// Fraction of tasks placed.
+    pub fn acceptance_ratio(&self, total_tasks: usize) -> f64 {
+        if total_tasks == 0 {
+            1.0
+        } else {
+            self.placements.len() as f64 / total_tasks as f64
+        }
+    }
+}
+
+/// Jointly formulates the given tasks on `node` (§5 heuristic) and prices
+/// the outcome: returns per-task `(levels, distance, comm_cost, demand)`,
+/// or `None` if even fully degraded the set does not fit.
+pub fn formulate_on_node(
+    instance: &Instance,
+    node: &OfflineNode,
+    task_ids: &[TaskId],
+) -> Option<Vec<(TaskId, Placement)>> {
+    formulate_on_node_with_capacity(instance, node, &node.capacity, task_ids)
+}
+
+/// [`formulate_on_node`] against an explicit remaining capacity — used by
+/// multi-round policies that track what earlier rounds already committed.
+pub fn formulate_on_node_with_capacity(
+    instance: &Instance,
+    node: &OfflineNode,
+    capacity: &ResourceVector,
+    task_ids: &[TaskId],
+) -> Option<Vec<(TaskId, Placement)>> {
+    if task_ids.is_empty() {
+        return Some(Vec::new());
+    }
+    let tasks: Vec<&OfflineTask> = task_ids
+        .iter()
+        .map(|id| instance.tasks.iter().find(|t| t.id == *id))
+        .collect::<Option<Vec<_>>>()?;
+    let models: Vec<&Arc<dyn DemandModel>> = tasks
+        .iter()
+        .map(|t| node.model_for(&t.spec))
+        .collect::<Option<Vec<_>>>()?;
+    let inputs: Vec<TaskInput<'_>> = tasks
+        .iter()
+        .zip(models.iter())
+        .map(|(t, m)| TaskInput {
+            spec: &t.spec,
+            request: &t.request,
+            demand: m.as_ref(),
+        })
+        .collect();
+    let admission = AdmissionControl::new(node.policy, *capacity);
+    let default_reward = LinearPenalty::default();
+    let reward: &dyn RewardModel = node
+        .reward
+        .as_deref()
+        .unwrap_or(&default_reward);
+    let out = qosc_core::formulate(&inputs, &admission, reward).ok()?;
+    let evaluator = Evaluator::new(instance.eval);
+    let mut placements = Vec::with_capacity(tasks.len());
+    for (i, t) in tasks.iter().enumerate() {
+        let distance = evaluator
+            .distance_of_levels(&t.spec, &t.request, &out.levels[i])
+            .expect("formulated levels are in range");
+        let comm_cost = if node.id == instance.requester {
+            0.0
+        } else if node.link_kbps > 0.0 {
+            (t.input_bytes + t.output_bytes) as f64 * 8.0 / (node.link_kbps * 1000.0)
+        } else {
+            f64::INFINITY
+        };
+        placements.push((
+            t.id,
+            Placement {
+                node: node.id,
+                levels: out.levels[i].clone(),
+                distance,
+                comm_cost,
+                demand: out.demands[i],
+            },
+        ));
+    }
+    Some(placements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::small_instance;
+
+    #[test]
+    fn formulate_on_rich_node_places_all_preferred() {
+        let inst = small_instance(&[1000.0, 1000.0], 2);
+        let ids: Vec<TaskId> = inst.tasks.iter().map(|t| t.id).collect();
+        let placements = formulate_on_node(&inst, &inst.nodes[1], &ids).unwrap();
+        assert_eq!(placements.len(), 2);
+        for (_, p) in &placements {
+            assert_eq!(p.distance, 0.0);
+            assert!(p.comm_cost > 0.0); // node 1 is remote
+        }
+    }
+
+    #[test]
+    fn requester_has_zero_comm_cost() {
+        let inst = small_instance(&[1000.0, 1000.0], 1);
+        let ids = vec![TaskId(0)];
+        let placements = formulate_on_node(&inst, &inst.nodes[0], &ids).unwrap();
+        assert_eq!(placements[0].1.comm_cost, 0.0);
+    }
+
+    #[test]
+    fn infeasible_node_returns_none() {
+        let inst = small_instance(&[0.5, 1000.0], 1);
+        let ids = vec![TaskId(0)];
+        assert!(formulate_on_node(&inst, &inst.nodes[0], &ids).is_none());
+    }
+
+    #[test]
+    fn allocation_summaries() {
+        let mut a = Allocation::default();
+        a.placements.insert(
+            TaskId(0),
+            Placement {
+                node: 1,
+                levels: vec![0],
+                distance: 0.2,
+                comm_cost: 1.0,
+                demand: ResourceVector::ZERO,
+            },
+        );
+        a.placements.insert(
+            TaskId(1),
+            Placement {
+                node: 1,
+                levels: vec![0],
+                distance: 0.4,
+                comm_cost: 0.5,
+                demand: ResourceVector::ZERO,
+            },
+        );
+        a.unassigned.push(TaskId(2));
+        assert!((a.total_distance() - 0.6).abs() < 1e-12);
+        assert!((a.mean_distance() - 0.3).abs() < 1e-12);
+        assert!((a.total_comm_cost() - 1.5).abs() < 1e-12);
+        assert_eq!(a.distinct_members(), 1);
+        assert!(!a.complete());
+        assert!((a.acceptance_ratio(3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

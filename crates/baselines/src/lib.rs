@@ -1,0 +1,33 @@
+//! # qosc-baselines — comparator allocation policies
+//!
+//! The paper argues (§1, §4, §7) that QoS-aware coalition formation beats
+//! both single-node execution and QoS-blind placement. This crate provides
+//! the comparators that turn those claims into measurable experiments:
+//!
+//! | Policy | What it models |
+//! |---|---|
+//! | [`single_node`] | no cooperation: everything on the requester |
+//! | [`random_alloc`] | cooperation without evaluation |
+//! | [`greedy_least_loaded`] | classic load balancing, QoS-blind |
+//! | [`protocol_emulation`] | the paper's §4–§6 protocol, offline |
+//! | [`exhaustive_optimal`] | the lexicographic optimum (small instances) |
+//!
+//! All policies run on a common [`Instance`] snapshot and share the §5
+//! degradation heuristic, isolating *placement policy* as the only
+//! variable. The `builders` module provides ready-made instances for
+//! benches and tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builders;
+mod instance;
+mod policies;
+
+pub use instance::{
+    formulate_on_node, Allocation, Instance, OfflineNode, OfflineTask, Pid, Placement,
+};
+pub use policies::{
+    aggregate_cpu, exhaustive_optimal, greedy_least_loaded, protocol_emulation,
+    protocol_emulation_with, random_alloc, single_node, ProposalStrategy,
+};

@@ -1,0 +1,54 @@
+//! B1 — throughput of the §6 evaluation primitives: admissibility checks
+//! and eq. 2 distance over batches of proposals.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use qosc_core::Evaluator;
+use qosc_spec::{catalog, Value};
+
+fn offers(n: usize) -> Vec<Vec<Value>> {
+    (0..n)
+        .map(|i| {
+            vec![
+                Value::Int(10 - (i % 10) as i64),
+                Value::Int(if i % 2 == 0 { 3 } else { 1 }),
+                Value::Int(8),
+                Value::Int(8),
+            ]
+        })
+        .collect()
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let spec = catalog::av_spec();
+    let request = catalog::surveillance_request().resolve(&spec).unwrap();
+    let evaluator = Evaluator::default();
+    let batch = offers(1000);
+
+    let mut g = c.benchmark_group("evaluation");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("distance_1000_proposals", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for o in &batch {
+                acc += evaluator.distance(black_box(&spec), black_box(&request), black_box(o));
+            }
+            acc
+        })
+    });
+    g.bench_function("admissibility_1000_proposals", |b| {
+        b.iter(|| {
+            let mut ok = 0;
+            for o in &batch {
+                if evaluator.admissible(black_box(&request), black_box(o)).is_ok() {
+                    ok += 1;
+                }
+            }
+            ok
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_evaluation);
+criterion_main!(benches);

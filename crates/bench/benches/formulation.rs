@@ -1,0 +1,58 @@
+//! B2 — the §5 degradation heuristic at increasing scarcity and task
+//! counts (cost grows with the number of degradation steps).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qosc_core::{formulate, LinearPenalty, TaskInput};
+use qosc_resources::{av_demand_model, AdmissionControl, ResourceVector, SchedulingPolicy};
+use qosc_spec::catalog;
+
+fn bench_formulation(c: &mut Criterion) {
+    let spec = catalog::av_spec();
+    let request = catalog::video_conference_request().resolve(&spec).unwrap();
+    let model = av_demand_model(&spec);
+    let reward = LinearPenalty::default();
+
+    let mut g = c.benchmark_group("formulation");
+    // Scarcity sweep: fewer MIPS = more degradation steps.
+    for cpu in [500.0, 60.0, 30.0] {
+        let admission = AdmissionControl::new(
+            SchedulingPolicy::Edf,
+            ResourceVector::new(cpu, 512.0, 10_000.0, 60.0, 10_000.0),
+        );
+        g.bench_with_input(BenchmarkId::new("single_task_cpu", cpu as u64), &cpu, |b, _| {
+            b.iter(|| {
+                formulate(
+                    &[TaskInput {
+                        spec: black_box(&spec),
+                        request: black_box(&request),
+                        demand: &model,
+                    }],
+                    &admission,
+                    &reward,
+                )
+            })
+        });
+    }
+    // Joint task-set sweep at fixed capacity.
+    for tasks in [1usize, 4, 16] {
+        let admission = AdmissionControl::new(
+            SchedulingPolicy::Edf,
+            ResourceVector::new(120.0, 4096.0, 100_000.0, 600.0, 100_000.0),
+        );
+        let inputs: Vec<TaskInput<'_>> = (0..tasks)
+            .map(|_| TaskInput {
+                spec: &spec,
+                request: &request,
+                demand: &model,
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("joint_tasks", tasks), &tasks, |b, _| {
+            b.iter(|| formulate(black_box(&inputs), &admission, &reward))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_formulation);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! B3 — a full negotiation round through the DES, end to end, at two pool
+//! sizes. This is the wall-clock cost of everything: CFP fan-out,
+//! per-provider formulation + reservation, evaluation, tie-break, awards.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qosc_core::NegoEvent;
+use qosc_netsim::{Area, SimTime};
+use qosc_workloads::{AppTemplate, PopulationConfig, Scenario, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_negotiation(nodes: usize, seed: u64) -> usize {
+    let config = ScenarioConfig {
+        nodes,
+        area: Area::new(40.0, 40.0),
+        population: PopulationConfig::default(),
+        seed,
+        ..Default::default()
+    };
+    let mut scenario = Scenario::build(&config);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let svc = AppTemplate::Surveillance.service("svc", 2, &mut rng);
+    scenario.submit(0, svc, SimTime(1_000));
+    scenario.run_until(SimTime(2_000_000));
+    scenario
+        .host
+        .events
+        .iter()
+        .filter(|e| matches!(e.event, NegoEvent::Formed { .. }))
+        .count()
+}
+
+fn bench_negotiation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("negotiation");
+    g.sample_size(20);
+    for nodes in [8usize, 32] {
+        g.bench_with_input(
+            BenchmarkId::new("full_round_nodes", nodes),
+            &nodes,
+            |b, &n| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_negotiation(n, seed)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_negotiation);
+criterion_main!(benches);

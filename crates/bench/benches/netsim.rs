@@ -1,0 +1,59 @@
+//! B4 — raw simulator throughput: event processing with mobility ticks
+//! and broadcast fan-out (the substrate's overhead floor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qosc_netsim::{
+    Area, Ctx, Mobility, NetApp, NodeId, SimConfig, SimDuration, SimTime, Simulator,
+};
+
+/// Rebroadcast app: every received message is re-broadcast with a TTL.
+struct Flood;
+impl NetApp<u32> for Flood {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, at: NodeId, _from: NodeId, msg: &u32) {
+        if *msg > 0 {
+            ctx.broadcast(at, 64, msg - 1);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, at: NodeId, _token: u64) {
+        ctx.broadcast(at, 64, 3);
+    }
+}
+
+fn flood(nodes: usize, mobile: bool) -> u64 {
+    let mut sim = Simulator::new(SimConfig {
+        area: Area::new(100.0, 100.0),
+        seed: 1,
+        ..Default::default()
+    });
+    for _ in 0..nodes {
+        sim.add_node_random(if mobile {
+            Mobility::RandomWaypoint {
+                min_speed: 1.0,
+                max_speed: 5.0,
+                pause: SimDuration::millis(100),
+            }
+        } else {
+            Mobility::Static
+        });
+    }
+    sim.schedule_timer(NodeId(0), SimDuration::millis(1), 0);
+    sim.run_until(&mut Flood, SimTime(1_000_000))
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    g.sample_size(20);
+    for nodes in [16usize, 64] {
+        g.bench_with_input(BenchmarkId::new("flood_static", nodes), &nodes, |b, &n| {
+            b.iter(|| flood(n, false))
+        });
+        g.bench_with_input(BenchmarkId::new("flood_mobile", nodes), &nodes, |b, &n| {
+            b.iter(|| flood(n, true))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_netsim);
+criterion_main!(benches);

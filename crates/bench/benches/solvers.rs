@@ -1,0 +1,36 @@
+//! B5 — allocation solver costs: the protocol emulations vs the
+//! exhaustive optimum's exponential growth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qosc_baselines::{
+    builders::conference_instance, exhaustive_optimal, protocol_emulation,
+    protocol_emulation_with, ProposalStrategy,
+};
+use qosc_core::TieBreak;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solvers");
+    for nodes in [2usize, 3, 4] {
+        let cpus: Vec<f64> = (0..nodes).map(|i| 40.0 + 60.0 * i as f64).collect();
+        let inst = conference_instance(&cpus, 3);
+        g.bench_with_input(
+            BenchmarkId::new("exhaustive_nodes", nodes),
+            &nodes,
+            |b, _| b.iter(|| exhaustive_optimal(&inst, 10_000_000)),
+        );
+    }
+    let inst = conference_instance(&[40.0, 100.0, 160.0, 220.0, 60.0, 120.0], 4);
+    g.bench_function("protocol_joint_6n4t", |b| {
+        b.iter(|| protocol_emulation(&inst, &TieBreak::default()))
+    });
+    g.bench_function("protocol_sequential_6n4t", |b| {
+        b.iter(|| {
+            protocol_emulation_with(&inst, &TieBreak::default(), ProposalStrategy::Sequential)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

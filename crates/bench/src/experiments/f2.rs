@@ -1,0 +1,80 @@
+//! F2 — acceptance ratio under offered load.
+//!
+//! Paper claim (§4.1): cooperation lets the network "cope with limited
+//! resources" and "fulfill the resource allocation requests from users".
+//! We sweep the offered load (total preferred-level CPU demand as a
+//! fraction of aggregate pool CPU) and measure the fraction of tasks each
+//! policy places.
+
+use qosc_baselines::{
+    aggregate_cpu, greedy_least_loaded, protocol_emulation, random_alloc, single_node,
+};
+use qosc_core::TieBreak;
+use qosc_resources::ResourceKind;
+use qosc_workloads::{AppTemplate, PopulationConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::instances::population_instance;
+use crate::table::{f, mean, replicate, Table};
+
+const REPS: u64 = 10;
+const NODES: usize = 6;
+
+/// Preferred-level CPU demand of one video-conference task under the
+/// catalog demand model.
+fn task_cpu() -> f64 {
+    let t = AppTemplate::Surveillance;
+    let spec = t.spec();
+    let req = t.request().resolve(&spec).unwrap();
+    let qv = req
+        .quality_vector(&spec, &vec![0; req.attr_count()])
+        .unwrap();
+    t.demand_model().demand(&spec, &qv).get(ResourceKind::Cpu)
+}
+
+/// Runs F2 and returns its table.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "F2: task acceptance ratio vs offered load (6 constrained nodes)",
+        &["load", "coalition", "single", "greedy", "random"],
+    );
+    let population = PopulationConfig::constrained();
+    let per_task = task_cpu();
+    for load in [0.25, 0.5, 1.0, 1.5, 2.0, 3.0] {
+        let results = replicate(REPS, |seed| {
+            // Size the task count so preferred demand ≈ load × pool CPU.
+            let probe = population_instance(
+                &population,
+                NODES,
+                AppTemplate::Surveillance,
+                1,
+                0xF2_0000 + seed,
+            );
+            let pool = aggregate_cpu(&probe);
+            let tasks = ((load * pool / per_task).round() as usize).max(1);
+            let inst = population_instance(
+                &population,
+                NODES,
+                AppTemplate::Surveillance,
+                tasks,
+                0xF2_0000 + seed,
+            );
+            let mut rng = StdRng::seed_from_u64(0xF2_AAAA + seed);
+            (
+                protocol_emulation(&inst, &TieBreak::default()).acceptance_ratio(tasks),
+                single_node(&inst).acceptance_ratio(tasks),
+                greedy_least_loaded(&inst).acceptance_ratio(tasks),
+                random_alloc(&inst, &mut rng).acceptance_ratio(tasks),
+            )
+        });
+        table.row(vec![
+            f(load),
+            f(mean(&results.iter().map(|r| r.0).collect::<Vec<_>>())),
+            f(mean(&results.iter().map(|r| r.1).collect::<Vec<_>>())),
+            f(mean(&results.iter().map(|r| r.2).collect::<Vec<_>>())),
+            f(mean(&results.iter().map(|r| r.3).collect::<Vec<_>>())),
+        ]);
+    }
+    table
+}

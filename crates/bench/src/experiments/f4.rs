@@ -1,0 +1,86 @@
+//! F4 — optimality gap of the protocol's greedy selection.
+//!
+//! Paper claim (§6): the lowest-evaluation proposal per task, with the
+//! §4.2 tie-breaks, yields the coalition "more closely related to user's
+//! preferences". On instances small enough to enumerate we compare the
+//! protocol against the exhaustive lexicographic optimum, plus the
+//! QoS-blind comparators.
+
+use qosc_baselines::{
+    exhaustive_optimal, greedy_least_loaded, protocol_emulation, protocol_emulation_with,
+    random_alloc, ProposalStrategy,
+};
+use qosc_core::TieBreak;
+use qosc_workloads::{AppTemplate, PopulationConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::instances::population_instance;
+use crate::table::{f, mean, replicate, Table};
+
+const REPS: u64 = 40;
+const NODES: usize = 4;
+const TASKS: usize = 3;
+
+/// Runs F4 and returns its table.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "F4: optimality gap on enumerable instances (4 nodes, 3 tasks)",
+        &[
+            "policy",
+            "mean_total_distance",
+            "mean_gap_vs_optimal",
+            "optimal_rate",
+            "mean_comm_cost",
+        ],
+    );
+    let population = PopulationConfig::constrained();
+    let results = replicate(REPS, |seed| {
+        let inst = population_instance(
+            &population,
+            NODES,
+            AppTemplate::VideoConference,
+            TASKS,
+            0xF4_0000 + seed,
+        );
+        let opt = exhaustive_optimal(&inst, 10_000_000).expect("4^3 states fit the budget");
+        let proto = protocol_emulation(&inst, &TieBreak::default());
+        let proto_seq =
+            protocol_emulation_with(&inst, &TieBreak::default(), ProposalStrategy::Sequential);
+        let greedy = greedy_least_loaded(&inst);
+        let mut rng = StdRng::seed_from_u64(0xF4_BBBB + seed);
+        let random = random_alloc(&inst, &mut rng);
+        // Gap only meaningful when the optimum placed everything.
+        let complete = opt.complete();
+        [opt, proto, proto_seq, greedy, random].map(|a| {
+            (
+                a.total_distance(),
+                a.total_comm_cost(),
+                complete && a.complete(),
+            )
+        })
+    });
+    let opt_d: Vec<f64> = results.iter().map(|r| r[0].0).collect();
+    for (i, name) in ["optimal", "protocol_joint", "protocol_seq", "greedy", "random"]
+        .iter()
+        .enumerate()
+    {
+        let ds: Vec<f64> = results.iter().map(|r| r[i].0).collect();
+        let cs: Vec<f64> = results.iter().map(|r| r[i].1).collect();
+        let gaps: Vec<f64> = ds
+            .iter()
+            .zip(opt_d.iter())
+            .map(|(d, o)| d - o)
+            .collect();
+        let optimal_rate = gaps.iter().filter(|g| g.abs() < 1e-9).count() as f64
+            / gaps.len().max(1) as f64;
+        table.row(vec![
+            name.to_string(),
+            f(mean(&ds)),
+            f(mean(&gaps)),
+            f(optimal_rate),
+            f(mean(&cs)),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,81 @@
+//! F5 — formation under topology churn (mobility sweep).
+//!
+//! Paper claim (§1/§4): the environment is "highly dynamic"; "a carefully
+//! rationalized coalition planning may be useless or less useful by the
+//! time the coalition is formed". We sweep pedestrian-to-vehicular node
+//! speeds at two radio ranges and measure how often formation completes
+//! and how many reconfiguration rounds operation needs within a fixed
+//! window.
+
+use qosc_core::NegoEvent;
+use qosc_netsim::{Area, RadioModel, SimTime};
+use qosc_workloads::{pedestrian, AppTemplate, PopulationConfig, Scenario, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::{f, mean, replicate, Table};
+
+const REPS: u64 = 10;
+const NODES: usize = 12;
+
+/// Runs F5 and returns its table.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "F5: formation success & reconfigurations vs node speed (60 s window)",
+        &[
+            "speed_ms",
+            "range_m",
+            "formed_ratio",
+            "mean_member_failures",
+            "mean_messages",
+        ],
+    );
+    for &range in &[30.0, 50.0] {
+        for &speed in &[0.0, 2.0, 5.0, 10.0, 20.0] {
+            let results = replicate(REPS, |seed| {
+                let config = ScenarioConfig {
+                    nodes: NODES,
+                    area: Area::new(150.0, 150.0),
+                    radio: RadioModel {
+                        range_m: range,
+                        ..Default::default()
+                    },
+                    mobility: if speed > 0.0 {
+                        Some(pedestrian(speed))
+                    } else {
+                        None
+                    },
+                    population: PopulationConfig::pure_adhoc(),
+                    seed: 0xF5_0000 + seed * 7 + (speed as u64) * 131 + range as u64,
+                    ..Default::default()
+                };
+                let mut scenario = Scenario::build(&config);
+                let mut rng = StdRng::seed_from_u64(0xF5_CCCC + seed);
+                let svc = AppTemplate::Surveillance.service("svc", 3, &mut rng);
+                scenario.submit(0, svc, SimTime(10_000));
+                scenario.run_until(SimTime(60_000_000));
+                let formed = scenario
+                    .host
+                    .events
+                    .iter()
+                    .any(|e| matches!(e.event, NegoEvent::Formed { .. }));
+                let failures = scenario
+                    .host
+                    .events
+                    .iter()
+                    .filter(|e| matches!(e.event, NegoEvent::MemberFailed { .. }))
+                    .count();
+                let msgs = scenario.sim.stats().messages_sent();
+                (formed as u64 as f64, failures as f64, msgs as f64)
+            });
+            table.row(vec![
+                f(speed),
+                f(range),
+                f(mean(&results.iter().map(|r| r.0).collect::<Vec<_>>())),
+                f(mean(&results.iter().map(|r| r.1).collect::<Vec<_>>())),
+                f(mean(&results.iter().map(|r| r.2).collect::<Vec<_>>())),
+            ]);
+        }
+    }
+    table
+}

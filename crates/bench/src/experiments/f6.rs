@@ -1,0 +1,65 @@
+//! F6 — coalition size and the distinct-members tie-break.
+//!
+//! Paper claim (§4.2): "Coalition operation's complexity increases with
+//! the number of distinct members", which is why member count is a
+//! selection criterion. We sweep the task count and compare the paper's
+//! tie-break order with a members-first order and with the member
+//! criterion demoted, measuring distinct members and the distance paid.
+
+use qosc_baselines::protocol_emulation;
+use qosc_core::{Criterion, TieBreak};
+use qosc_workloads::{AppTemplate, PopulationConfig};
+
+use crate::instances::population_instance;
+use crate::table::{f, mean, replicate, Table};
+
+const REPS: u64 = 25;
+const NODES: usize = 8;
+
+/// Runs F6 and returns its table.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "F6: distinct coalition members vs task count, by tie-break",
+        &[
+            "tasks",
+            "paper_members",
+            "paper_distance",
+            "membersfirst_members",
+            "membersfirst_distance",
+        ],
+    );
+    use Criterion::*;
+    let paper = TieBreak::default();
+    let members_first = TieBreak {
+        order: [Members, Distance, CommCost],
+        epsilon: 1e-9,
+    };
+    let population = PopulationConfig::constrained();
+    for tasks in [2usize, 4, 6, 8] {
+        let results = replicate(REPS, |seed| {
+            let inst = population_instance(
+                &population,
+                NODES,
+                AppTemplate::Surveillance,
+                tasks,
+                0xF6_0000 + seed * 13 + tasks as u64,
+            );
+            let a = protocol_emulation(&inst, &paper);
+            let b = protocol_emulation(&inst, &members_first);
+            (
+                a.distinct_members() as f64,
+                a.mean_distance(),
+                b.distinct_members() as f64,
+                b.mean_distance(),
+            )
+        });
+        table.row(vec![
+            tasks.to_string(),
+            f(mean(&results.iter().map(|r| r.0).collect::<Vec<_>>())),
+            f(mean(&results.iter().map(|r| r.1).collect::<Vec<_>>())),
+            f(mean(&results.iter().map(|r| r.2).collect::<Vec<_>>())),
+            f(mean(&results.iter().map(|r| r.3).collect::<Vec<_>>())),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,80 @@
+//! F7 — formation robustness under message loss.
+//!
+//! Wireless links lose frames, especially near the range edge (§2's
+//! "guaranteeing QoS in wireless networks is still a very challenging
+//! problem"). The protocol tolerates loss through its deadline-driven
+//! rounds: lost proposals shrink the candidate set, lost awards become
+//! declines, and retry rounds re-solicit. We sweep a uniform loss floor
+//! plus a grey-zone edge ramp and measure formation success, rounds used
+//! and the resulting quality.
+
+use qosc_core::NegoEvent;
+use qosc_netsim::{Area, RadioModel, SimTime};
+use qosc_workloads::{AppTemplate, PopulationConfig, Scenario, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::{f, mean, replicate, Table};
+
+const REPS: u64 = 12;
+const NODES: usize = 10;
+
+/// Runs F7 and returns its table.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "F7: formation under message loss (10 nodes, 2 tasks, 30 s window)",
+        &[
+            "loss_floor",
+            "formed_ratio",
+            "mean_distance",
+            "mean_declines",
+            "mean_messages",
+        ],
+    );
+    for &loss in &[0.0, 0.05, 0.1, 0.2, 0.4, 0.6] {
+        let results = replicate(REPS, |seed| {
+            let config = ScenarioConfig {
+                nodes: NODES,
+                area: Area::new(60.0, 60.0),
+                radio: RadioModel {
+                    loss_floor: loss,
+                    loss_at_edge: 0.2,
+                    ..Default::default()
+                },
+                population: PopulationConfig::pure_adhoc(),
+                seed: 0xF7_0000 + seed * 23 + (loss * 100.0) as u64,
+                ..Default::default()
+            };
+            let mut scenario = Scenario::build(&config);
+            let mut rng = StdRng::seed_from_u64(0xF7_EEEE + seed);
+            let svc = AppTemplate::Surveillance.service("svc", 2, &mut rng);
+            scenario.submit(0, svc, SimTime(1_000));
+            scenario.run_until(SimTime(30_000_000));
+            let formed = scenario.host.events.iter().find_map(|e| match &e.event {
+                NegoEvent::Formed { metrics, .. } => Some(metrics.clone()),
+                _ => None,
+            });
+            let msgs = scenario.sim.stats().messages_sent() as f64;
+            match formed {
+                Some(m) => (1.0, m.mean_distance(), m.declines as f64, msgs),
+                None => (0.0, f64::NAN, 0.0, msgs),
+            }
+        });
+        let formed: Vec<f64> = results.iter().map(|r| r.0).collect();
+        let dist: Vec<f64> = results
+            .iter()
+            .filter(|r| r.0 > 0.0)
+            .map(|r| r.1)
+            .collect();
+        let declines: Vec<f64> = results.iter().map(|r| r.2).collect();
+        let msgs: Vec<f64> = results.iter().map(|r| r.3).collect();
+        table.row(vec![
+            f(loss),
+            f(mean(&formed)),
+            f(mean(&dist)),
+            f(mean(&declines)),
+            f(mean(&msgs)),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,39 @@
+//! The canonical experiment suite (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! The paper has no empirical tables/figures; every experiment here
+//! operationalises one of its quantitative claims. Each module's `run()`
+//! returns a [`Table`](crate::table::Table) that the `experiments` binary
+//! prints and writes to `results/*.csv`.
+
+pub mod f1;
+pub mod f2;
+pub mod f3;
+pub mod f4;
+pub mod f5;
+pub mod f6;
+pub mod f7;
+pub mod t1;
+pub mod t2;
+pub mod t3;
+
+use crate::table::Table;
+
+/// All experiment ids in canonical order.
+pub const ALL: [&str; 10] = ["f1", "f2", "f3", "f4", "f5", "f6", "f7", "t1", "t2", "t3"];
+
+/// Runs one experiment by id.
+pub fn run(id: &str) -> Option<Table> {
+    Some(match id {
+        "f1" => f1::run(),
+        "f2" => f2::run(),
+        "f3" => f3::run(),
+        "f4" => f4::run(),
+        "f5" => f5::run(),
+        "f6" => f6::run(),
+        "f7" => f7::run(),
+        "t1" => t1::run(),
+        "t2" => t2::run(),
+        "t3" => t3::run(),
+        _ => return None,
+    })
+}

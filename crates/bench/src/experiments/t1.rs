@@ -1,0 +1,79 @@
+//! T1 — protocol message complexity and negotiation latency.
+//!
+//! Paper §4.2's algorithm costs, per round: 1 CFP broadcast, one proposal
+//! per capable neighbour, one award + one accept per task. We measure the
+//! DES totals against that analytic expectation and record the simulated
+//! formation latency.
+
+use qosc_core::NegoEvent;
+use qosc_netsim::{Area, SimTime};
+use qosc_workloads::{AppTemplate, PopulationConfig, Scenario, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::table::{f, mean, replicate, Table};
+
+const REPS: u64 = 8;
+const TASKS: usize = 2;
+
+/// Runs T1 and returns its table.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "T1: messages & formation latency vs pool size (2 tasks, monitoring off)",
+        &[
+            "nodes",
+            "mean_messages",
+            "analytic_messages",
+            "mean_latency_ms",
+            "formed_ratio",
+        ],
+    );
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        let results = replicate(REPS, |seed| {
+            let mut organizer = qosc_core::OrganizerConfig::default();
+            organizer.monitor = false; // formation cost only
+            let mut provider = qosc_core::ProviderConfig::default();
+            // Push heartbeats beyond the window so the counts isolate the
+            // formation protocol itself.
+            provider.heartbeat_interval = qosc_netsim::SimDuration::secs(3600);
+            let config = ScenarioConfig {
+                nodes: n,
+                // Dense square so every node hears the CFP.
+                area: Area::new(30.0, 30.0),
+                organizer,
+                provider,
+                population: PopulationConfig::pure_adhoc(),
+                seed: 0x71_0000 + seed * 17 + n as u64,
+                ..Default::default()
+            };
+            let mut scenario = Scenario::build(&config);
+            let mut rng = StdRng::seed_from_u64(0x71_DDDD + seed);
+            let svc = AppTemplate::Surveillance.service("svc", TASKS, &mut rng);
+            scenario.submit(0, svc, SimTime(1_000));
+            scenario.run_until(SimTime(30_000_000));
+            let formed = scenario.host.events.iter().find_map(|e| match &e.event {
+                NegoEvent::Formed { metrics, .. } => metrics
+                    .formation_latency()
+                    .map(|l| l.as_secs_f64() * 1000.0),
+                _ => None,
+            });
+            let msgs = scenario.sim.stats().messages_sent() as f64;
+            (msgs, formed)
+        });
+        let msgs: Vec<f64> = results.iter().map(|r| r.0).collect();
+        let latencies: Vec<f64> = results.iter().filter_map(|r| r.1).collect();
+        let formed_ratio = latencies.len() as f64 / results.len() as f64;
+        // Analytic single-round cost: 1 CFP + n proposals (every node,
+        // including the organizer, is capable in this dense scenario)
+        // + TASKS awards + TASKS accepts.
+        let analytic = 1.0 + n as f64 + 2.0 * TASKS as f64;
+        table.row(vec![
+            n.to_string(),
+            f(mean(&msgs)),
+            f(analytic),
+            f(mean(&latencies)),
+            f(formed_ratio),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,76 @@
+//! T3 — ablation of the §4.2 tie-break order.
+//!
+//! The paper fixes evaluation value ≻ communication cost ≻ distinct
+//! members. All six permutations are run on identical instances; the
+//! table shows what each criterion order trades: distance, comm cost, and
+//! coalition size.
+
+use qosc_baselines::protocol_emulation;
+use qosc_core::{Criterion, TieBreak};
+use qosc_workloads::{AppTemplate, PopulationConfig};
+
+use crate::instances::population_instance;
+use crate::table::{f, mean, replicate, Table};
+
+const REPS: u64 = 30;
+const NODES: usize = 8;
+const TASKS: usize = 4;
+
+fn label(order: &[Criterion; 3]) -> String {
+    order
+        .iter()
+        .map(|c| match c {
+            Criterion::Distance => "D",
+            Criterion::CommCost => "C",
+            Criterion::Members => "M",
+        })
+        .collect::<Vec<_>>()
+        .join(">")
+}
+
+/// Runs T3 and returns its table.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "T3: tie-break order ablation (D=distance, C=comm cost, M=members)",
+        &[
+            "order",
+            "mean_distance",
+            "mean_comm_cost",
+            "mean_members",
+            "acceptance",
+        ],
+    );
+    let population = PopulationConfig::constrained();
+    let perms = TieBreak::permutations();
+    let results = replicate(REPS, |seed| {
+        let inst = population_instance(
+            &population,
+            NODES,
+            AppTemplate::VideoConference,
+            TASKS,
+            0x73_0000 + seed,
+        );
+        perms
+            .iter()
+            .map(|tb| {
+                let a = protocol_emulation(&inst, tb);
+                (
+                    a.total_distance(),
+                    a.total_comm_cost(),
+                    a.distinct_members() as f64,
+                    a.acceptance_ratio(TASKS),
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+    for (i, tb) in perms.iter().enumerate() {
+        table.row(vec![
+            label(&tb.order),
+            f(mean(&results.iter().map(|r| r[i].0).collect::<Vec<_>>())),
+            f(mean(&results.iter().map(|r| r[i].1).collect::<Vec<_>>())),
+            f(mean(&results.iter().map(|r| r[i].2).collect::<Vec<_>>())),
+            f(mean(&results.iter().map(|r| r[i].3).collect::<Vec<_>>())),
+        ]);
+    }
+    table
+}

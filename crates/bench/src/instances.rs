@@ -1,0 +1,105 @@
+//! Bridges populations/templates into offline allocation instances.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qosc_baselines::{Instance, OfflineNode, OfflineTask};
+use qosc_core::{EvalConfig, LinearPenalty, QuadraticPenalty, RewardModel};
+use std::sync::Arc as StdArc;
+use qosc_resources::{ResourceKind, SchedulingPolicy};
+use qosc_spec::TaskId;
+use qosc_workloads::{AppTemplate, PopulationConfig};
+
+/// Builds an offline instance: `n_nodes` drawn from `population` (node 0
+/// is the requester), `n_tasks` instances of `template`.
+pub fn population_instance(
+    population: &PopulationConfig,
+    n_nodes: usize,
+    template: AppTemplate,
+    n_tasks: usize,
+    seed: u64,
+) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let profiles = population.sample_many(n_nodes, &mut rng);
+    let spec = template.spec();
+    let resolved = template
+        .request()
+        .resolve(&spec)
+        .expect("catalog requests resolve");
+    let model = template.demand_model();
+    let nodes = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut models: HashMap<String, Arc<dyn qosc_resources::DemandModel>> = HashMap::new();
+            models.insert(spec.name().to_string(), Arc::clone(&model));
+            // Nodes run their own degradation policies (§5: penalty "can
+            // be defined according to user's own criteria"): odd nodes
+            // degrade quadratically, which shapes their offers differently
+            // and exercises cross-dimension trade-offs in evaluation.
+            let reward: StdArc<dyn RewardModel> = if i % 2 == 1 {
+                StdArc::new(QuadraticPenalty::default())
+            } else {
+                StdArc::new(LinearPenalty::default())
+            };
+            OfflineNode {
+                id: i as u32,
+                capacity: p.capacity,
+                link_kbps: p.capacity.get(ResourceKind::NetBandwidth),
+                policy: SchedulingPolicy::Edf,
+                models,
+                reward: Some(reward),
+            }
+        })
+        .collect();
+    let tasks = (0..n_tasks)
+        .map(|i| {
+            let (input_bytes, output_bytes) = template.payload(&mut rng);
+            OfflineTask {
+                id: TaskId(i as u32),
+                spec: spec.clone(),
+                request: resolved.clone(),
+                input_bytes,
+                output_bytes,
+            }
+        })
+        .collect();
+    Instance {
+        requester: 0,
+        nodes,
+        tasks,
+        eval: EvalConfig::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_shape_matches_request() {
+        let inst = population_instance(
+            &PopulationConfig::default(),
+            6,
+            AppTemplate::Surveillance,
+            3,
+            42,
+        );
+        assert_eq!(inst.nodes.len(), 6);
+        assert_eq!(inst.tasks.len(), 3);
+        assert_eq!(inst.requester, 0);
+        // Deterministic.
+        let inst2 = population_instance(
+            &PopulationConfig::default(),
+            6,
+            AppTemplate::Surveillance,
+            3,
+            42,
+        );
+        assert_eq!(inst.nodes[3].capacity, inst2.nodes[3].capacity);
+        assert_eq!(inst.tasks[2].input_bytes, inst2.tasks[2].input_bytes);
+    }
+}

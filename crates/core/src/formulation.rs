@@ -1,0 +1,505 @@
+//! Local proposal formulation (paper §5).
+//!
+//! When a Call-for-Proposals arrives, the QoS Provider runs "a local QoS
+//! optimization heuristic" (after Abdelzaher et al. [1]):
+//!
+//! 1. start with the user's preferred values for every QoS dimension;
+//! 2. while the set of tasks is not schedulable:
+//!    a. for each task receiving service at level `Q_kj < Q_kn`,
+//!    b. determine the decrease in *local reward* from degrading attribute
+//!       `j` to `j+1`,
+//!    c. degrade the task/attribute whose decrease is minimal.
+//!
+//! The local reward is eq. 1:
+//!
+//! ```text
+//! r = n                      if every attribute is served at Q_k1
+//!   = n − Σ_j penalty_j      otherwise
+//! ```
+//!
+//! "penalty … can be defined according to user's own criteria and its value
+//! increases with the distance from user's preferred value" — so the
+//! penalty is a pluggable [`RewardModel`]; [`LinearPenalty`] (default)
+//! makes the penalty the rank-weighted normalised ladder distance, and
+//! [`QuadraticPenalty`] penalises deep degradation superlinearly (an
+//! ablation point: quadratic penalties spread degradation across
+//! attributes instead of sacrificing one).
+//!
+//! Beyond the paper's letter we also enforce the spec's inter-attribute
+//! dependencies (§3's `Deps`, which §4.2 requires the negotiation to
+//! honour): a configuration is acceptable only if it is schedulable *and*
+//! dependency-consistent.
+
+use qosc_resources::{AdmissionControl, DemandModel, ResourceVector};
+use qosc_spec::{QosSpec, ResolvedRequest};
+
+use crate::evaluation::WeightScheme;
+
+/// Pluggable penalty of eq. 1.
+pub trait RewardModel: Send + Sync {
+    /// Penalty of serving one attribute at ladder level `level` (0 =
+    /// preferred) out of `ladder_len` levels, where the attribute has
+    /// 0-based rank `attr_rank` of `attr_count` inside a dimension of
+    /// 0-based rank `dim_rank` of `dim_count`.
+    fn penalty(
+        &self,
+        dim_rank: usize,
+        dim_count: usize,
+        attr_rank: usize,
+        attr_count: usize,
+        level: usize,
+        ladder_len: usize,
+    ) -> f64;
+}
+
+/// Penalty = `w_k · w_i · level/(len−1)` — linear in ladder distance,
+/// discounted by the user's importance ranks so degrading what the user
+/// cares least about costs least reward.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinearPenalty {
+    /// Rank weighting (shared with the evaluator for symmetry).
+    pub weights: WeightScheme,
+}
+
+impl RewardModel for LinearPenalty {
+    fn penalty(
+        &self,
+        dim_rank: usize,
+        dim_count: usize,
+        attr_rank: usize,
+        attr_count: usize,
+        level: usize,
+        ladder_len: usize,
+    ) -> f64 {
+        if ladder_len <= 1 {
+            return 0.0;
+        }
+        let frac = level as f64 / (ladder_len - 1) as f64;
+        self.weights.weight(dim_rank, dim_count) * self.weights.weight(attr_rank, attr_count) * frac
+    }
+}
+
+/// Penalty = `w_k · w_i · (level/(len−1))²` — shallow degradation is nearly
+/// free, deep degradation expensive, so the heuristic spreads cuts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QuadraticPenalty {
+    /// Rank weighting.
+    pub weights: WeightScheme,
+}
+
+impl RewardModel for QuadraticPenalty {
+    fn penalty(
+        &self,
+        dim_rank: usize,
+        dim_count: usize,
+        attr_rank: usize,
+        attr_count: usize,
+        level: usize,
+        ladder_len: usize,
+    ) -> f64 {
+        if ladder_len <= 1 {
+            return 0.0;
+        }
+        let frac = level as f64 / (ladder_len - 1) as f64;
+        self.weights.weight(dim_rank, dim_count)
+            * self.weights.weight(attr_rank, attr_count)
+            * frac
+            * frac
+    }
+}
+
+/// Eq. 1 for one task: `n − Σ penalty`, where `n` is the number of
+/// requested attributes (so `r = n` exactly when everything sits at the
+/// preferred level).
+pub fn local_reward(request: &ResolvedRequest, levels: &[usize], model: &dyn RewardModel) -> f64 {
+    let n = request.attr_count() as f64;
+    let dim_count = request.dim_count();
+    let mut penalty_sum = 0.0;
+    for (((k, i), pref), &lvl) in request.iter_attrs().zip(levels.iter()) {
+        if lvl > 0 {
+            let attr_count = request.dimensions[k].attributes.len();
+            penalty_sum += model.penalty(k, dim_count, i, attr_count, lvl, pref.levels.len());
+        }
+    }
+    n - penalty_sum
+}
+
+/// One task to formulate for: its spec, resolved request and demand model.
+pub struct TaskInput<'a> {
+    /// Application QoS spec.
+    pub spec: &'a QosSpec,
+    /// The user's resolved request.
+    pub request: &'a ResolvedRequest,
+    /// The a-priori quality→resource analysis.
+    pub demand: &'a dyn DemandModel,
+}
+
+/// Successful formulation: per-task ladder levels, per-task demands, and
+/// the total local reward (Σ eq. 1 over tasks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Formulated {
+    /// Level index per requested attribute, per task.
+    pub levels: Vec<Vec<usize>>,
+    /// Resource demand per task at the chosen levels.
+    pub demands: Vec<ResourceVector>,
+    /// Total local reward.
+    pub reward: f64,
+    /// Number of degradation steps taken.
+    pub degradations: u32,
+}
+
+/// Why formulation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormulationError {
+    /// Even with every attribute at its least-preferred acceptable level
+    /// the task set is not schedulable (or dependency-consistent) here.
+    Infeasible,
+}
+
+impl std::fmt::Display for FormulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormulationError::Infeasible => {
+                write!(f, "no acceptable quality level fits this node's resources")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormulationError {}
+
+/// Runs the §5 heuristic over a set of tasks against one node's admission
+/// control. Pure: resource *reservation* is the caller's job (the provider
+/// engine prepares holds for the returned demands).
+pub fn formulate(
+    tasks: &[TaskInput<'_>],
+    admission: &AdmissionControl,
+    reward_model: &dyn RewardModel,
+) -> Result<Formulated, FormulationError> {
+    // Step 1: preferred values everywhere.
+    let mut levels: Vec<Vec<usize>> = tasks
+        .iter()
+        .map(|t| vec![0usize; t.request.attr_count()])
+        .collect();
+    let ladders: Vec<Vec<usize>> = tasks.iter().map(|t| t.request.ladder_lengths()).collect();
+    let mut degradations = 0u32;
+
+    // Incremental state: a degradation step only changes one task's
+    // quality vector, so only that task's demand and dependency status is
+    // recomputed per iteration (keeps joint formulation of large task sets
+    // linear in the number of degradation steps, not quadratic).
+    let eval_task = |ti: usize, lv: &[usize]| {
+        let t = &tasks[ti];
+        let qv = t
+            .request
+            .quality_vector(t.spec, lv)
+            .expect("levels are kept within ladder bounds");
+        let ok = qv.satisfies_dependencies(t.spec);
+        (t.demand.demand(t.spec, &qv), ok)
+    };
+    let mut demands: Vec<ResourceVector> = Vec::with_capacity(tasks.len());
+    let mut deps_ok_v: Vec<bool> = Vec::with_capacity(tasks.len());
+    let mut total = ResourceVector::ZERO;
+    for ti in 0..tasks.len() {
+        let (d, ok) = eval_task(ti, &levels[ti]);
+        total += d;
+        demands.push(d);
+        deps_ok_v.push(ok);
+    }
+
+    loop {
+        // Acceptance test: schedulable AND dependency-consistent.
+        let deps_ok = deps_ok_v.iter().all(|&x| x);
+        if deps_ok && admission.schedulable_total(&total, tasks.len()) {
+            let reward = tasks
+                .iter()
+                .zip(levels.iter())
+                .map(|(t, lv)| local_reward(t.request, lv, reward_model))
+                .sum();
+            return Ok(Formulated {
+                levels,
+                demands,
+                reward,
+                degradations,
+            });
+        }
+
+        // Step 2: find the (task, attribute) whose one-step degradation
+        // loses the least reward.
+        let mut best: Option<(usize, usize, f64)> = None; // (task, flat attr, decrease)
+        for (ti, t) in tasks.iter().enumerate() {
+            let dim_count = t.request.dim_count();
+            for (flat, ((k, i), pref)) in t.request.iter_attrs().enumerate() {
+                let lvl = levels[ti][flat];
+                let len = ladders[ti][flat];
+                if lvl + 1 >= len {
+                    continue; // already at Q_kn
+                }
+                let attr_count = t.request.dimensions[k].attributes.len();
+                let before = reward_model.penalty(k, dim_count, i, attr_count, lvl, len);
+                let after = reward_model.penalty(k, dim_count, i, attr_count, lvl + 1, len);
+                let decrease = after - before;
+                let better = match best {
+                    None => true,
+                    Some((_, _, d)) => decrease < d - 1e-15,
+                };
+                if better {
+                    best = Some((ti, flat, decrease));
+                }
+                let _ = pref;
+            }
+        }
+        match best {
+            Some((ti, flat, _)) => {
+                levels[ti][flat] += 1;
+                degradations += 1;
+                total -= demands[ti];
+                let (d, ok) = eval_task(ti, &levels[ti]);
+                total += d;
+                demands[ti] = d;
+                deps_ok_v[ti] = ok;
+            }
+            None => return Err(FormulationError::Infeasible),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_resources::{av_demand_model, ResourceKind, SchedulingPolicy};
+    use qosc_spec::catalog;
+
+    fn setup() -> (qosc_spec::QosSpec, ResolvedRequest) {
+        let spec = catalog::av_spec();
+        let req = catalog::video_conference_request().resolve(&spec).unwrap();
+        (spec, req)
+    }
+
+    fn admission(cpu: f64) -> AdmissionControl {
+        AdmissionControl::new(
+            SchedulingPolicy::Edf,
+            ResourceVector::new(cpu, 512.0, 10_000.0, 60.0, 10_000.0),
+        )
+    }
+
+    #[test]
+    fn reward_is_n_at_preferred_levels() {
+        let (_spec, req) = setup();
+        let model = LinearPenalty::default();
+        let r = local_reward(&req, &[0, 0, 0, 0], &model);
+        assert_eq!(r, 4.0);
+    }
+
+    #[test]
+    fn reward_decreases_monotonically_with_degradation() {
+        let (_spec, req) = setup();
+        let model = LinearPenalty::default();
+        let mut prev = local_reward(&req, &[0, 0, 0, 0], &model);
+        for lvl in 1..req.ladder_lengths()[0] {
+            let r = local_reward(&req, &[lvl, 0, 0, 0], &model);
+            assert!(r < prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn rich_node_serves_preferred_levels() {
+        let (spec, req) = setup();
+        let model = av_demand_model(&spec);
+        let out = formulate(
+            &[TaskInput {
+                spec: &spec,
+                request: &req,
+                demand: &model,
+            }],
+            &admission(1000.0),
+            &LinearPenalty::default(),
+        )
+        .unwrap();
+        assert_eq!(out.levels, vec![vec![0, 0, 0, 0]]);
+        assert_eq!(out.degradations, 0);
+        assert_eq!(out.reward, 4.0);
+    }
+
+    #[test]
+    fn scarce_node_degrades_minimally_and_stays_feasible() {
+        let (spec, req) = setup();
+        let model = av_demand_model(&spec);
+        let out = formulate(
+            &[TaskInput {
+                spec: &spec,
+                request: &req,
+                demand: &model,
+            }],
+            &admission(45.0),
+            &LinearPenalty::default(),
+        )
+        .unwrap();
+        assert!(out.degradations > 0);
+        // The outcome must actually be schedulable.
+        assert!(admission(45.0).schedulable(&out.demands));
+        assert!(out.reward < 4.0);
+        // Levels stay within ladders.
+        for (lv, len) in out.levels[0].iter().zip(req.ladder_lengths()) {
+            assert!(*lv < len);
+        }
+    }
+
+    #[test]
+    fn degradation_prefers_least_important_attribute_first() {
+        let (spec, req) = setup();
+        let model = av_demand_model(&spec);
+        // Find the smallest capacity that forces exactly one degradation.
+        let mut cpu = 120.0;
+        let out = loop {
+            let o = formulate(
+                &[TaskInput {
+                    spec: &spec,
+                    request: &req,
+                    demand: &model,
+                }],
+                &admission(cpu),
+                &LinearPenalty::default(),
+            )
+            .unwrap();
+            if o.degradations >= 1 {
+                break o;
+            }
+            cpu -= 2.0;
+        };
+        // With LinearPenalty, the cheapest first step is the attribute with
+        // the longest ladder in the least important position. frame_rate
+        // (k=0,i=0, 21 levels): step cost 1*1*(1/20) = 0.05;
+        // color_depth (k=0,i=1,3 levels): 1*0.5*0.5 = 0.25;
+        // sampling_rate (k=1,i=0,3): 0.5*1*0.5=0.25; sample_bits
+        // (k=1,i=1,2): 0.5*0.5*1 = 0.25. So frame_rate degrades first.
+        assert!(out.levels[0][0] >= 1);
+        assert_eq!(&out.levels[0][1..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn impossible_demand_is_infeasible() {
+        let (spec, req) = setup();
+        let model = av_demand_model(&spec);
+        let err = formulate(
+            &[TaskInput {
+                spec: &spec,
+                request: &req,
+                demand: &model,
+            }],
+            &admission(0.5),
+            &LinearPenalty::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, FormulationError::Infeasible);
+    }
+
+    #[test]
+    fn multi_task_formulation_shares_capacity() {
+        let (spec, req) = setup();
+        let model = av_demand_model(&spec);
+        let one = formulate(
+            &[TaskInput {
+                spec: &spec,
+                request: &req,
+                demand: &model,
+            }],
+            &admission(80.0),
+            &LinearPenalty::default(),
+        )
+        .unwrap();
+        let two = formulate(
+            &[
+                TaskInput {
+                    spec: &spec,
+                    request: &req,
+                    demand: &model,
+                },
+                TaskInput {
+                    spec: &spec,
+                    request: &req,
+                    demand: &model,
+                },
+            ],
+            &admission(80.0),
+            &LinearPenalty::default(),
+        )
+        .unwrap();
+        // Two tasks on the same node must degrade more than one.
+        assert!(two.degradations > one.degradations);
+        let total: f64 = two
+            .demands
+            .iter()
+            .map(|d| d.get(ResourceKind::Cpu))
+            .sum();
+        assert!(total <= 80.0 + 1e-9);
+    }
+
+    #[test]
+    fn quadratic_penalty_spreads_degradation() {
+        let (spec, req) = setup();
+        let model = av_demand_model(&spec);
+        let lin = formulate(
+            &[TaskInput {
+                spec: &spec,
+                request: &req,
+                demand: &model,
+            }],
+            &admission(35.0),
+            &LinearPenalty::default(),
+        )
+        .unwrap();
+        let quad = formulate(
+            &[TaskInput {
+                spec: &spec,
+                request: &req,
+                demand: &model,
+            }],
+            &admission(35.0),
+            &QuadraticPenalty::default(),
+        )
+        .unwrap();
+        // Count attributes touched: quadratic should touch at least as many.
+        let touched = |o: &Formulated| o.levels[0].iter().filter(|&&l| l > 0).count();
+        assert!(touched(&quad) >= touched(&lin));
+    }
+
+    #[test]
+    fn dependencies_are_honoured() {
+        // transcode spec has a linear budget coupling chunk_rate & bitrate;
+        // craft a tight node and confirm the outcome satisfies deps.
+        let spec = catalog::transcode_spec();
+        let req = catalog::transcode_request().resolve(&spec).unwrap();
+        use qosc_resources::{DemandTerm, Feature, LinearDemandModel};
+        let chunk = spec.path("Throughput", "chunk_rate").unwrap();
+        let model = LinearDemandModel::new(
+            ResourceVector::new(1.0, 4.0, 8.0, 0.1, 5.0),
+            vec![DemandTerm {
+                path: chunk,
+                feature: Feature::Numeric,
+                kind: ResourceKind::Cpu,
+                coeff: 2.0,
+            }],
+        );
+        let out = formulate(
+            &[TaskInput {
+                spec: &spec,
+                request: &req,
+                demand: &model,
+            }],
+            &admission(100.0),
+            &LinearPenalty::default(),
+        )
+        .unwrap();
+        let qv = req.quality_vector(&spec, &out.levels[0]).unwrap();
+        assert!(qv.satisfies_dependencies(&spec));
+    }
+
+    #[test]
+    fn empty_task_list_is_trivially_formulated() {
+        let out = formulate(&[], &admission(1.0), &LinearPenalty::default()).unwrap();
+        assert!(out.levels.is_empty());
+        assert_eq!(out.reward, 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! # qosc-core — Dynamic QoS-Aware Coalition Formation
+//!
+//! The primary contribution of Nogueira & Pinho (2005), as a library:
+//!
+//! * [`Evaluator`] — the multi-attribute proposal evaluation of §6
+//!   (equations 2–5): rank-derived weights, normalised continuous
+//!   differences, Quality-Index positional differences, admissibility.
+//! * [`formulate`] — the local proposal-formulation heuristic of §5 with
+//!   the eq. 1 reward ([`LinearPenalty`], [`QuadraticPenalty`]).
+//! * [`OrganizerEngine`] / [`ProviderEngine`] — the §4.2 negotiation
+//!   protocol as sans-IO state machines covering the full coalition life
+//!   cycle (Formation / Operation with heartbeat monitoring and
+//!   failure-triggered reconfiguration / Dissolution).
+//! * [`select_winners`] — winner selection with the paper's three-level
+//!   tie-break (evaluation value ≻ communication cost ≻ distinct members),
+//!   fully configurable for ablations ([`TieBreak`]).
+//! * [`SimHost`] — glue that runs the engines inside the `qosc-netsim`
+//!   ad-hoc network simulator (the live threaded transport is assembled
+//!   from `qosc-actors` in the examples and integration tests).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use qosc_core::{
+//!     single_organizer_scenario, OrganizerConfig, ProviderConfig, ProviderEngine,
+//! };
+//! use qosc_netsim::{Mobility, Point, SimConfig, SimDuration, SimTime, Simulator};
+//! use qosc_resources::{av_demand_model, ResourceVector};
+//! use qosc_spec::{catalog, ServiceDef, TaskDef};
+//!
+//! // Three static nodes in range of each other.
+//! let mut sim = Simulator::new(SimConfig::default());
+//! for i in 0..3 {
+//!     sim.add_node(Point::new(10.0 * i as f64, 0.0), Mobility::Static);
+//! }
+//! // Providers with heterogeneous CPU.
+//! let spec = catalog::av_spec();
+//! let providers = (0..3u32)
+//!     .map(|i| {
+//!         let mut p = ProviderEngine::new(
+//!             i,
+//!             ResourceVector::new(100.0 + 150.0 * i as f64, 256.0, 5000.0, 40.0, 4000.0),
+//!             ProviderConfig::default(),
+//!         );
+//!         p.register_demand_model(spec.name(), Arc::new(av_demand_model(&spec)));
+//!         p
+//!     })
+//!     .collect();
+//! // One service with one surveillance task, requested at node 0.
+//! let service = ServiceDef::new(
+//!     "demo",
+//!     vec![TaskDef {
+//!         name: "camera".into(),
+//!         spec: spec.clone(),
+//!         request: catalog::surveillance_request(),
+//!         input_bytes: 50_000,
+//!         output_bytes: 5_000,
+//!     }],
+//! );
+//! let (mut sim, mut host) = single_organizer_scenario(
+//!     sim,
+//!     OrganizerConfig::default(),
+//!     providers,
+//!     service,
+//!     SimDuration::millis(1),
+//! );
+//! sim.run_until(&mut host, SimTime(5_000_000));
+//! assert!(host.events.iter().any(|e| matches!(
+//!     e.event,
+//!     qosc_core::NegoEvent::Formed { .. }
+//! )));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod evaluation;
+mod formation;
+mod formulation;
+mod metrics;
+mod organizer;
+mod protocol;
+mod provider;
+mod simglue;
+
+pub use evaluation::{DifMode, EvalConfig, Evaluator, Inadmissible, WeightScheme};
+pub use formation::{select_winners, Candidate, Criterion, Selection, TieBreak};
+pub use formulation::{
+    formulate, local_reward, Formulated, FormulationError, LinearPenalty, QuadraticPenalty,
+    RewardModel, TaskInput,
+};
+pub use metrics::{NegoEvent, NegotiationMetrics, TaskOutcome};
+pub use organizer::{OrganizerConfig, OrganizerEngine};
+pub use protocol::{
+    decode_timer, encode_timer, Action, Msg, NegoId, Pid, TaskAnnouncement, TaskProposal,
+    TimerKind,
+};
+pub use provider::{ProposalStrategy, ProviderConfig, ProviderEngine};
+pub use simglue::{dissolve_token, kickoff_token, single_organizer_scenario, LoggedEvent, SimHost};

@@ -1,0 +1,882 @@
+//! The Negotiation Organizer engine (paper §4.2).
+//!
+//! "When a user requests a service, with its specific QoS preferences, on a
+//! particular node the QoS Provider starts and guides all the negotiation
+//! process. It plays the role of Negotiation Organizer."
+//!
+//! The engine is sans-IO: every input (message, timer) returns a list of
+//! [`Action`]s for the transport to execute. One engine instance lives on
+//! every node that originates services; it can run any number of
+//! negotiations concurrently, each keyed by [`NegoId`].
+//!
+//! State machine per negotiation:
+//!
+//! ```text
+//!            start_service
+//!                 │ broadcast CFP, arm proposal deadline
+//!                 ▼
+//!           ┌─ Collecting ─┐ proposal deadline: evaluate (eq. 2–5),
+//!           │              │ select winners (§4.2 tie-break), send awards
+//!           ▼              │
+//!        Awarding ◄────────┘
+//!           │ all accepts (or award deadline): unplaced tasks retry in a
+//!           │ new round (bounded); otherwise →
+//!           ▼
+//!        Operating — heartbeat monitoring; a missed member triggers a
+//!           │         reconfiguration round for its tasks (Formation
+//!           │         phase again, other members keep running)
+//!           ▼
+//!        Dissolved — host-requested or nothing placed.
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use qosc_netsim::{SimDuration, SimTime};
+use qosc_spec::{ResolvedRequest, ServiceDef, SpecError, TaskId};
+
+use crate::evaluation::{EvalConfig, Evaluator};
+use crate::formation::{select_winners, Candidate, TieBreak};
+use crate::metrics::{NegoEvent, NegotiationMetrics, TaskOutcome};
+use crate::protocol::{
+    encode_timer, Action, Msg, NegoId, Pid, TaskAnnouncement, TaskProposal, TimerKind,
+};
+
+/// Organizer tunables.
+#[derive(Debug, Clone)]
+pub struct OrganizerConfig {
+    /// How long to collect proposals after a CFP.
+    pub proposal_wait: SimDuration,
+    /// How long to wait for winners' accepts.
+    pub award_wait: SimDuration,
+    /// Member heartbeat period expected during operation.
+    pub heartbeat_interval: SimDuration,
+    /// Consecutive missed heartbeats before a member is declared failed.
+    pub miss_threshold: u32,
+    /// Maximum formation rounds (initial + retries + reconfigurations).
+    pub max_rounds: u32,
+    /// Winner-selection tie-break (§4.2).
+    pub tiebreak: TieBreak,
+    /// Evaluation knobs (eqs. 2–5).
+    pub eval: EvalConfig,
+    /// Enable operation-phase heartbeat monitoring.
+    pub monitor: bool,
+}
+
+impl Default for OrganizerConfig {
+    fn default() -> Self {
+        Self {
+            proposal_wait: SimDuration::millis(100),
+            award_wait: SimDuration::millis(100),
+            heartbeat_interval: SimDuration::millis(500),
+            miss_threshold: 3,
+            max_rounds: 4,
+            tiebreak: TieBreak::default(),
+            eval: EvalConfig::default(),
+            monitor: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Collecting,
+    Awarding,
+    Operating,
+    Dissolved,
+}
+
+struct Nego {
+    state: State,
+    round: u32,
+    announcements: BTreeMap<TaskId, TaskAnnouncement>,
+    resolved: BTreeMap<TaskId, ResolvedRequest>,
+    /// Tasks solicited in the current round.
+    open: BTreeSet<TaskId>,
+    /// Evaluated admissible candidates per open task.
+    candidates: BTreeMap<TaskId, Vec<Candidate>>,
+    /// Awards awaiting an accept.
+    pending: BTreeMap<TaskId, Pid>,
+    /// Accepted assignments (operating members).
+    assignments: BTreeMap<TaskId, Pid>,
+    /// Last heartbeat per operating task.
+    last_heartbeat: HashMap<TaskId, SimTime>,
+    /// Tasks that exhausted all rounds.
+    given_up: BTreeSet<TaskId>,
+    metrics: NegotiationMetrics,
+}
+
+/// The sans-IO Negotiation Organizer.
+pub struct OrganizerEngine {
+    id: Pid,
+    config: OrganizerConfig,
+    negotiations: HashMap<NegoId, Nego>,
+    next_seq: u32,
+    evaluator: Evaluator,
+}
+
+impl OrganizerEngine {
+    /// Creates an organizer for node `id`.
+    pub fn new(id: Pid, config: OrganizerConfig) -> Self {
+        let evaluator = Evaluator::new(config.eval);
+        Self {
+            id,
+            config,
+            negotiations: HashMap::new(),
+            next_seq: 0,
+            evaluator,
+        }
+    }
+
+    /// This organizer's node id.
+    pub fn id(&self) -> Pid {
+        self.id
+    }
+
+    /// Metrics of a negotiation, if known.
+    pub fn metrics(&self, nego: NegoId) -> Option<&NegotiationMetrics> {
+        self.negotiations.get(&nego).map(|n| &n.metrics)
+    }
+
+    /// Current assignments of a negotiation.
+    pub fn assignments(&self, nego: NegoId) -> Option<&BTreeMap<TaskId, Pid>> {
+        self.negotiations.get(&nego).map(|n| &n.assignments)
+    }
+
+    /// True once the negotiation reached the operating state.
+    pub fn is_operating(&self, nego: NegoId) -> bool {
+        self.negotiations
+            .get(&nego)
+            .map(|n| n.state == State::Operating)
+            .unwrap_or(false)
+    }
+
+    /// Starts the negotiation for `service` (step 1: broadcast the service
+    /// description and the user's preferences). Fails fast if any task's
+    /// request does not resolve against its spec.
+    pub fn start_service(
+        &mut self,
+        now: SimTime,
+        service: &ServiceDef,
+    ) -> Result<(NegoId, Vec<Action>), SpecError> {
+        let nego = NegoId {
+            organizer: self.id,
+            seq: self.next_seq,
+        };
+        let mut announcements = BTreeMap::new();
+        let mut resolved = BTreeMap::new();
+        for (tid, task) in service.iter() {
+            let r = task.resolve()?;
+            resolved.insert(tid, r);
+            announcements.insert(
+                tid,
+                TaskAnnouncement {
+                    task: tid,
+                    spec: task.spec.clone(),
+                    request: task.request.clone(),
+                    input_bytes: task.input_bytes,
+                    output_bytes: task.output_bytes,
+                },
+            );
+        }
+        self.next_seq += 1;
+        let open: BTreeSet<TaskId> = announcements.keys().copied().collect();
+        let mut nego_state = Nego {
+            state: State::Collecting,
+            round: 0,
+            announcements,
+            resolved,
+            open,
+            candidates: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            assignments: BTreeMap::new(),
+            last_heartbeat: HashMap::new(),
+            given_up: BTreeSet::new(),
+            metrics: NegotiationMetrics {
+                started_at: Some(now),
+                ..Default::default()
+            },
+        };
+        let actions = Self::issue_cfp(&self.config, nego, &mut nego_state);
+        self.negotiations.insert(nego, nego_state);
+        Ok((nego, actions))
+    }
+
+    /// Builds the CFP broadcast + proposal deadline for the current round.
+    fn issue_cfp(config: &OrganizerConfig, nego: NegoId, n: &mut Nego) -> Vec<Action> {
+        n.state = State::Collecting;
+        n.candidates.clear();
+        let tasks: Vec<TaskAnnouncement> = n
+            .open
+            .iter()
+            .map(|t| n.announcements[t].clone())
+            .collect();
+        vec![
+            Action::Broadcast(Msg::CallForProposals {
+                nego,
+                tasks,
+                round: n.round,
+            }),
+            Action::Timer {
+                delay: config.proposal_wait,
+                token: encode_timer(nego, TimerKind::ProposalDeadline),
+            },
+        ]
+    }
+
+    /// Handles an inbound protocol message addressed to this organizer.
+    pub fn on_message(&mut self, now: SimTime, from: Pid, msg: &Msg) -> Vec<Action> {
+        match msg {
+            Msg::Proposal {
+                nego,
+                from: sender,
+                proposals,
+            } => self.on_proposal(*nego, *sender, proposals),
+            Msg::Accept { nego, task, from } => self.on_accept(now, *nego, *task, *from),
+            Msg::Decline { nego, task, from } => self.on_decline(now, *nego, *task, *from),
+            Msg::Heartbeat { nego, task, from } => {
+                self.on_heartbeat(now, *nego, *task, *from);
+                Vec::new()
+            }
+            // CFP / Award / Release are provider-side messages.
+            _ => {
+                let _ = from;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Handles a timer previously armed by this organizer.
+    pub fn on_timer(&mut self, now: SimTime, nego: NegoId, kind: TimerKind) -> Vec<Action> {
+        match kind {
+            TimerKind::ProposalDeadline => self.on_proposal_deadline(now, nego),
+            TimerKind::AwardDeadline => self.on_award_deadline(now, nego),
+            TimerKind::HeartbeatCheck => self.on_heartbeat_check(now, nego),
+            _ => Vec::new(),
+        }
+    }
+
+    fn on_proposal(&mut self, nego: NegoId, from: Pid, proposals: &[TaskProposal]) -> Vec<Action> {
+        let Some(n) = self.negotiations.get_mut(&nego) else {
+            return Vec::new();
+        };
+        if n.state != State::Collecting {
+            return Vec::new(); // late proposal; round already closed
+        }
+        n.metrics.proposal_bundles += 1;
+        for p in proposals {
+            if !n.open.contains(&p.task) {
+                continue;
+            }
+            let Some(request) = n.resolved.get(&p.task) else {
+                continue;
+            };
+            let ann = &n.announcements[&p.task];
+            // Step 3 precondition: admissibility (§6).
+            if self.evaluator.admissible(request, &p.offered).is_err() {
+                continue;
+            }
+            let distance = self.evaluator.distance(&ann.spec, request, &p.offered);
+            let comm_cost = if from == self.id {
+                0.0
+            } else if p.link_kbps > 0.0 {
+                ((ann.input_bytes + ann.output_bytes) as f64 * 8.0) / (p.link_kbps * 1000.0)
+            } else {
+                f64::INFINITY
+            };
+            n.candidates.entry(p.task).or_default().push(Candidate {
+                node: from,
+                distance,
+                comm_cost,
+            });
+        }
+        Vec::new()
+    }
+
+    fn on_proposal_deadline(&mut self, now: SimTime, nego: NegoId) -> Vec<Action> {
+        let Some(n) = self.negotiations.get_mut(&nego) else {
+            return Vec::new();
+        };
+        if n.state != State::Collecting {
+            return Vec::new();
+        }
+        // Ensure every open task has an entry so unassigned is accurate.
+        let mut per_task: BTreeMap<TaskId, Vec<Candidate>> = BTreeMap::new();
+        for t in &n.open {
+            per_task.insert(*t, n.candidates.get(t).cloned().unwrap_or_default());
+        }
+        let selection = select_winners(&per_task, &self.config.tiebreak);
+        let mut actions = Vec::new();
+        n.pending.clear();
+        for (task, node) in &selection.assignments {
+            n.pending.insert(*task, *node);
+            n.metrics.awards_sent += 1;
+            actions.push(Action::Send {
+                to: *node,
+                msg: Msg::Award { nego, task: *task },
+            });
+        }
+        // Tasks with no candidates stay open for the next round.
+        n.open = selection.unassigned.iter().copied().collect();
+        if n.pending.is_empty() {
+            // Nothing to award: either retry or give up immediately.
+            return self.finish_round(now, nego);
+        }
+        n.state = State::Awarding;
+        actions.push(Action::Timer {
+            delay: self.config.award_wait,
+            token: encode_timer(nego, TimerKind::AwardDeadline),
+        });
+        actions
+    }
+
+    fn on_accept(&mut self, now: SimTime, nego: NegoId, task: TaskId, from: Pid) -> Vec<Action> {
+        let Some(n) = self.negotiations.get_mut(&nego) else {
+            return Vec::new();
+        };
+        if n.pending.get(&task) != Some(&from) {
+            return Vec::new(); // stale or bogus accept
+        }
+        n.pending.remove(&task);
+        n.assignments.insert(task, from);
+        n.last_heartbeat.insert(task, now);
+        // Record the outcome from the winning candidate's scores.
+        if let Some(c) = n
+            .candidates
+            .get(&task)
+            .and_then(|cs| cs.iter().find(|c| c.node == from))
+        {
+            n.metrics.outcomes.insert(
+                task,
+                TaskOutcome {
+                    node: from,
+                    distance: c.distance,
+                    comm_cost: c.comm_cost,
+                },
+            );
+        }
+        if n.pending.is_empty() && n.state == State::Awarding {
+            return self.finish_round(now, nego);
+        }
+        Vec::new()
+    }
+
+    fn on_decline(&mut self, now: SimTime, nego: NegoId, task: TaskId, from: Pid) -> Vec<Action> {
+        let Some(n) = self.negotiations.get_mut(&nego) else {
+            return Vec::new();
+        };
+        if n.pending.get(&task) != Some(&from) {
+            return Vec::new();
+        }
+        n.pending.remove(&task);
+        n.metrics.declines += 1;
+        // Strike the declining node's candidate so the retry round does not
+        // re-select it immediately.
+        if let Some(cs) = n.candidates.get_mut(&task) {
+            cs.retain(|c| c.node != from);
+        }
+        n.open.insert(task);
+        if n.pending.is_empty() && n.state == State::Awarding {
+            return self.finish_round(now, nego);
+        }
+        Vec::new()
+    }
+
+    fn on_award_deadline(&mut self, now: SimTime, nego: NegoId) -> Vec<Action> {
+        let Some(n) = self.negotiations.get_mut(&nego) else {
+            return Vec::new();
+        };
+        if n.state != State::Awarding {
+            return Vec::new();
+        }
+        // Silent winners are treated as declined.
+        let silent: Vec<(TaskId, Pid)> = n.pending.iter().map(|(t, p)| (*t, *p)).collect();
+        for (task, node) in silent {
+            n.pending.remove(&task);
+            n.metrics.declines += 1;
+            if let Some(cs) = n.candidates.get_mut(&task) {
+                cs.retain(|c| c.node != node);
+            }
+            n.open.insert(task);
+        }
+        self.finish_round(now, nego)
+    }
+
+    /// Closes the current round: retries unplaced tasks in a new round if
+    /// the budget allows, otherwise settles the negotiation.
+    fn finish_round(&mut self, now: SimTime, nego: NegoId) -> Vec<Action> {
+        let config = self.config.clone();
+        let Some(n) = self.negotiations.get_mut(&nego) else {
+            return Vec::new();
+        };
+        if !n.open.is_empty() && n.round + 1 < config.max_rounds {
+            n.round += 1;
+            return Self::issue_cfp(&config, nego, n);
+        }
+        // Settle: whatever is still open is given up.
+        n.given_up.extend(n.open.iter().copied());
+        n.open.clear();
+        n.metrics.unassigned = n.given_up.iter().copied().collect();
+        let mut actions = Vec::new();
+        if n.assignments.is_empty() {
+            n.state = State::Dissolved;
+            actions.push(Action::Event(NegoEvent::FormationIncomplete {
+                nego,
+                unassigned: n.metrics.unassigned.clone(),
+                metrics: n.metrics.clone(),
+            }));
+            return actions;
+        }
+        let newly_operating = n.state != State::Operating;
+        n.state = State::Operating;
+        if n.metrics.formed_at.is_none() {
+            n.metrics.formed_at = Some(now);
+        }
+        if n.given_up.is_empty() {
+            actions.push(Action::Event(NegoEvent::Formed {
+                nego,
+                metrics: n.metrics.clone(),
+            }));
+        } else {
+            actions.push(Action::Event(NegoEvent::FormationIncomplete {
+                nego,
+                unassigned: n.metrics.unassigned.clone(),
+                metrics: n.metrics.clone(),
+            }));
+        }
+        if config.monitor && newly_operating {
+            actions.push(Action::Timer {
+                delay: config.heartbeat_interval,
+                token: encode_timer(nego, TimerKind::HeartbeatCheck),
+            });
+        }
+        actions
+    }
+
+    fn on_heartbeat(&mut self, now: SimTime, nego: NegoId, task: TaskId, from: Pid) {
+        if let Some(n) = self.negotiations.get_mut(&nego) {
+            if n.assignments.get(&task) == Some(&from) {
+                n.last_heartbeat.insert(task, now);
+            }
+        }
+    }
+
+    fn on_heartbeat_check(&mut self, now: SimTime, nego: NegoId) -> Vec<Action> {
+        let config = self.config.clone();
+        let Some(n) = self.negotiations.get_mut(&nego) else {
+            return Vec::new();
+        };
+        if n.state != State::Operating {
+            return Vec::new();
+        }
+        let timeout =
+            SimDuration::micros(config.heartbeat_interval.as_micros() * config.miss_threshold as u64);
+        // Find failed members (any task whose heartbeat went stale).
+        let mut failed_nodes: Vec<Pid> = Vec::new();
+        for (task, node) in &n.assignments {
+            // The organizer's own tasks never miss heartbeats (local).
+            if *node == self.id {
+                continue;
+            }
+            let last = n.last_heartbeat.get(task).copied().unwrap_or(SimTime::ZERO);
+            if now.since(last) > timeout && !failed_nodes.contains(node) {
+                failed_nodes.push(*node);
+            }
+        }
+        let mut actions = Vec::new();
+        if !failed_nodes.is_empty() && n.round + 1 < config.max_rounds {
+            // Reconfiguration: re-auction every task held by failed nodes.
+            let mut lost: Vec<TaskId> = Vec::new();
+            for node in &failed_nodes {
+                let tasks: Vec<TaskId> = n
+                    .assignments
+                    .iter()
+                    .filter(|(_, p)| *p == node)
+                    .map(|(t, _)| *t)
+                    .collect();
+                for t in &tasks {
+                    n.assignments.remove(t);
+                    n.metrics.outcomes.remove(t);
+                    n.open.insert(*t);
+                    lost.push(*t);
+                }
+                actions.push(Action::Event(NegoEvent::MemberFailed {
+                    nego,
+                    node: *node,
+                    tasks,
+                }));
+            }
+            n.metrics.reconfigurations += 1;
+            n.round += 1;
+            actions.extend(Self::issue_cfp(&config, nego, n));
+            let _ = lost;
+        }
+        // Keep monitoring (also during reconfiguration, for the survivors).
+        actions.push(Action::Timer {
+            delay: config.heartbeat_interval,
+            token: encode_timer(nego, TimerKind::HeartbeatCheck),
+        });
+        actions
+    }
+
+    /// Dissolves a coalition: members are told to release their resources.
+    pub fn dissolve(&mut self, nego: NegoId) -> Vec<Action> {
+        let Some(n) = self.negotiations.get_mut(&nego) else {
+            return Vec::new();
+        };
+        if n.state == State::Dissolved {
+            return Vec::new();
+        }
+        n.state = State::Dissolved;
+        let mut members: Vec<Pid> = n.assignments.values().copied().collect();
+        members.sort_unstable();
+        members.dedup();
+        let mut actions: Vec<Action> = members
+            .into_iter()
+            .map(|m| Action::Send {
+                to: m,
+                msg: Msg::Release { nego },
+            })
+            .collect();
+        actions.push(Action::Event(NegoEvent::Dissolved { nego }));
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qosc_spec::{catalog, TaskDef};
+
+    fn service(tasks: usize) -> ServiceDef {
+        ServiceDef::new(
+            "svc",
+            (0..tasks)
+                .map(|i| TaskDef {
+                    name: format!("t{i}"),
+                    spec: catalog::av_spec(),
+                    request: catalog::surveillance_request(),
+                    input_bytes: 100_000,
+                    output_bytes: 10_000,
+                })
+                .collect(),
+        )
+    }
+
+    fn proposal_for(
+        nego: NegoId,
+        from: Pid,
+        task: TaskId,
+        frame_rate: i64,
+        link_kbps: f64,
+    ) -> Msg {
+        use qosc_spec::Value;
+        Msg::Proposal {
+            nego,
+            from,
+            proposals: vec![TaskProposal {
+                task,
+                offered: vec![
+                    Value::Int(frame_rate),
+                    Value::Int(3),
+                    Value::Int(8),
+                    Value::Int(8),
+                ],
+                levels: vec![(10 - frame_rate).max(0) as usize, 0, 0, 0],
+                demand: qosc_resources::ResourceVector::ZERO,
+                link_kbps,
+                reward: 0.0,
+            }],
+        }
+    }
+
+    fn drive_to_award(
+        org: &mut OrganizerEngine,
+        nego: NegoId,
+        proposals: Vec<(Pid, i64, f64)>,
+    ) -> Vec<Action> {
+        for (pid, fr, link) in proposals {
+            let msg = proposal_for(nego, pid, TaskId(0), fr, link);
+            org.on_message(SimTime(10), pid, &msg);
+        }
+        org.on_timer(SimTime(100_000), nego, TimerKind::ProposalDeadline)
+    }
+
+    #[test]
+    fn start_service_broadcasts_cfp_and_arms_deadline() {
+        let mut org = OrganizerEngine::new(0, OrganizerConfig::default());
+        let (nego, actions) = org.start_service(SimTime::ZERO, &service(2)).unwrap();
+        assert_eq!(nego.organizer, 0);
+        assert!(matches!(
+            &actions[0],
+            Action::Broadcast(Msg::CallForProposals { tasks, round: 0, .. }) if tasks.len() == 2
+        ));
+        assert!(matches!(&actions[1], Action::Timer { .. }));
+    }
+
+    #[test]
+    fn best_distance_proposal_wins_award() {
+        let mut org = OrganizerEngine::new(0, OrganizerConfig::default());
+        let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
+        // Node 1 offers frame_rate 7 (worse), node 2 offers 10 (preferred).
+        let actions = drive_to_award(&mut org, nego, vec![(1, 7, 1000.0), (2, 10, 1000.0)]);
+        let award_to: Vec<Pid> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    to,
+                    msg: Msg::Award { .. },
+                } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(award_to, vec![2]);
+    }
+
+    #[test]
+    fn inadmissible_proposals_are_discarded() {
+        let mut org = OrganizerEngine::new(0, OrganizerConfig::default());
+        let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
+        // frame_rate 20 is outside the user's acceptable ladder [10..1].
+        let actions = drive_to_award(&mut org, nego, vec![(1, 20, 1000.0), (2, 5, 1000.0)]);
+        let award_to: Vec<Pid> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send {
+                    to,
+                    msg: Msg::Award { .. },
+                } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(award_to, vec![2]);
+    }
+
+    #[test]
+    fn accept_completes_formation_and_emits_formed() {
+        let mut org = OrganizerEngine::new(0, OrganizerConfig::default());
+        let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
+        drive_to_award(&mut org, nego, vec![(2, 10, 1000.0)]);
+        let actions = org.on_message(
+            SimTime(150_000),
+            2,
+            &Msg::Accept {
+                nego,
+                task: TaskId(0),
+                from: 2,
+            },
+        );
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Event(NegoEvent::Formed { .. }))));
+        assert!(org.is_operating(nego));
+        let m = org.metrics(nego).unwrap();
+        assert_eq!(m.outcomes[&TaskId(0)].node, 2);
+        assert!(m.formed_at.is_some());
+        // Heartbeat monitoring armed.
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Timer { token, .. }
+                if crate::protocol::decode_timer(*token).unwrap().1 == TimerKind::HeartbeatCheck)));
+    }
+
+    #[test]
+    fn no_proposals_retries_then_gives_up() {
+        let config = OrganizerConfig {
+            max_rounds: 2,
+            ..Default::default()
+        };
+        let mut org = OrganizerEngine::new(0, config);
+        let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
+        // Round 0 deadline, no proposals: expect a round-1 CFP.
+        let actions = org.on_timer(SimTime(100_000), nego, TimerKind::ProposalDeadline);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(Msg::CallForProposals { round: 1, .. }))));
+        // Round 1 deadline, still nothing: give up.
+        let actions = org.on_timer(SimTime(200_000), nego, TimerKind::ProposalDeadline);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Event(NegoEvent::FormationIncomplete { unassigned, .. })
+                if unassigned == &vec![TaskId(0)]
+        )));
+    }
+
+    #[test]
+    fn decline_strikes_candidate_and_retries() {
+        let mut org = OrganizerEngine::new(0, OrganizerConfig::default());
+        let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
+        drive_to_award(&mut org, nego, vec![(1, 10, 1000.0), (2, 9, 1000.0)]);
+        // Winner (node 1) declines: expect a retry CFP round.
+        let actions = org.on_message(
+            SimTime(150_000),
+            1,
+            &Msg::Decline {
+                nego,
+                task: TaskId(0),
+                from: 1,
+            },
+        );
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(Msg::CallForProposals { round: 1, .. }))));
+        // In the retry round node 2 proposes again and wins.
+        org.on_message(
+            SimTime(160_000),
+            2,
+            &proposal_for(nego, 2, TaskId(0), 9, 1000.0),
+        );
+        let actions = org.on_timer(SimTime(300_000), nego, TimerKind::ProposalDeadline);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send { to: 2, msg: Msg::Award { .. } }
+        )));
+    }
+
+    #[test]
+    fn award_deadline_treats_silence_as_decline() {
+        let mut org = OrganizerEngine::new(0, OrganizerConfig::default());
+        let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
+        drive_to_award(&mut org, nego, vec![(1, 10, 1000.0)]);
+        // Winner never answers; award deadline fires.
+        let actions = org.on_timer(SimTime(250_000), nego, TimerKind::AwardDeadline);
+        // Node 1 was the only candidate and is struck: new CFP round.
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(Msg::CallForProposals { round: 1, .. }))));
+        assert_eq!(org.metrics(nego).unwrap().declines, 1);
+    }
+
+    #[test]
+    fn heartbeat_miss_triggers_reconfiguration() {
+        let config = OrganizerConfig {
+            heartbeat_interval: SimDuration::millis(100),
+            miss_threshold: 2,
+            ..Default::default()
+        };
+        let mut org = OrganizerEngine::new(0, config);
+        let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
+        drive_to_award(&mut org, nego, vec![(2, 10, 1000.0)]);
+        org.on_message(
+            SimTime(150_000),
+            2,
+            &Msg::Accept {
+                nego,
+                task: TaskId(0),
+                from: 2,
+            },
+        );
+        assert!(org.is_operating(nego));
+        // No heartbeats arrive; check far past the 200 ms timeout.
+        let actions = org.on_timer(SimTime(1_000_000), nego, TimerKind::HeartbeatCheck);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Event(NegoEvent::MemberFailed { node: 2, .. })
+        )));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Broadcast(Msg::CallForProposals { .. }))));
+        assert_eq!(org.metrics(nego).unwrap().reconfigurations, 1);
+    }
+
+    #[test]
+    fn heartbeats_prevent_reconfiguration() {
+        let config = OrganizerConfig {
+            heartbeat_interval: SimDuration::millis(100),
+            miss_threshold: 2,
+            ..Default::default()
+        };
+        let mut org = OrganizerEngine::new(0, config);
+        let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
+        drive_to_award(&mut org, nego, vec![(2, 10, 1000.0)]);
+        org.on_message(
+            SimTime(150_000),
+            2,
+            &Msg::Accept {
+                nego,
+                task: TaskId(0),
+                from: 2,
+            },
+        );
+        // Fresh heartbeat just before the check.
+        org.on_message(
+            SimTime(900_000),
+            2,
+            &Msg::Heartbeat {
+                nego,
+                task: TaskId(0),
+                from: 2,
+            },
+        );
+        let actions = org.on_timer(SimTime(1_000_000), nego, TimerKind::HeartbeatCheck);
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, Action::Event(NegoEvent::MemberFailed { .. }))));
+        assert_eq!(org.metrics(nego).unwrap().reconfigurations, 0);
+    }
+
+    #[test]
+    fn dissolve_releases_members() {
+        let mut org = OrganizerEngine::new(0, OrganizerConfig::default());
+        let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
+        drive_to_award(&mut org, nego, vec![(2, 10, 1000.0)]);
+        org.on_message(
+            SimTime(150_000),
+            2,
+            &Msg::Accept {
+                nego,
+                task: TaskId(0),
+                from: 2,
+            },
+        );
+        let actions = org.dissolve(nego);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send { to: 2, msg: Msg::Release { .. } }
+        )));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Event(NegoEvent::Dissolved { .. }))));
+        // Dissolving twice is a no-op.
+        assert!(org.dissolve(nego).is_empty());
+    }
+
+    #[test]
+    fn stale_messages_are_ignored() {
+        let mut org = OrganizerEngine::new(0, OrganizerConfig::default());
+        let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
+        // Accept for a task never awarded.
+        let actions = org.on_message(
+            SimTime(10),
+            9,
+            &Msg::Accept {
+                nego,
+                task: TaskId(0),
+                from: 9,
+            },
+        );
+        assert!(actions.is_empty());
+        // Proposal for an unknown negotiation.
+        let bogus = NegoId {
+            organizer: 0,
+            seq: 999,
+        };
+        let actions = org.on_message(SimTime(10), 1, &proposal_for(bogus, 1, TaskId(0), 10, 1.0));
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn local_organizer_proposal_has_zero_comm_cost() {
+        let mut org = OrganizerEngine::new(0, OrganizerConfig::default());
+        let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
+        // Organizer's own node proposes a slightly worse quality but zero
+        // comm cost; remote node proposes the same quality.
+        org.on_message(SimTime(5), 0, &proposal_for(nego, 0, TaskId(0), 9, 1000.0));
+        org.on_message(SimTime(6), 7, &proposal_for(nego, 7, TaskId(0), 9, 1000.0));
+        let actions = org.on_timer(SimTime(100_000), nego, TimerKind::ProposalDeadline);
+        // Equal distance; comm-cost tie-break favours the local node.
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send { to: 0, msg: Msg::Award { .. } }
+        )));
+    }
+}

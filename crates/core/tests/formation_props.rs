@@ -1,0 +1,121 @@
+//! Property-based tests of winner selection (§4.2 tie-break).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use qosc_core::{select_winners, Candidate, TieBreak};
+use qosc_spec::TaskId;
+
+fn candidate() -> impl Strategy<Value = Candidate> {
+    (0u32..8, 0.0f64..2.0, 0.0f64..10.0).prop_map(|(node, distance, comm_cost)| Candidate {
+        node,
+        distance,
+        comm_cost,
+    })
+}
+
+/// One pool with *distinct* node ids — a real organizer keeps at most one
+/// proposal per (node, task).
+fn pool() -> impl Strategy<Value = Vec<Candidate>> {
+    proptest::collection::vec(candidate(), 0..6).prop_map(|cs| {
+        let mut seen = std::collections::BTreeSet::new();
+        cs.into_iter().filter(|c| seen.insert(c.node)).collect()
+    })
+}
+
+fn instance() -> impl Strategy<Value = BTreeMap<TaskId, Vec<Candidate>>> {
+    proptest::collection::vec(pool(), 1..5).prop_map(|tasks| {
+        tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, cs)| (TaskId(i as u32), cs))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Winners always come from the task's own candidate list, totals add
+    /// up, and unassigned are exactly the candidate-less tasks.
+    #[test]
+    fn selection_is_structurally_sound(cands in instance()) {
+        let sel = select_winners(&cands, &TieBreak::default());
+        let mut dist = 0.0;
+        let mut comm = 0.0;
+        for (task, node) in &sel.assignments {
+            let pool = &cands[task];
+            let c = pool.iter().find(|c| c.node == *node)
+                .expect("winner must be a candidate of its task");
+            // The winner must carry the minimum distance of the pool under
+            // the paper's order.
+            let best = pool.iter().map(|c| c.distance).fold(f64::INFINITY, f64::min);
+            prop_assert!(c.distance <= best + 1e-9);
+            dist += c.distance;
+            comm += c.comm_cost;
+        }
+        prop_assert!((sel.total_distance - dist).abs() < 1e-9);
+        prop_assert!((sel.total_comm_cost - comm).abs() < 1e-9);
+        for (task, pool) in &cands {
+            if pool.is_empty() {
+                prop_assert!(sel.unassigned.contains(task));
+            } else {
+                prop_assert!(sel.assignments.contains_key(task));
+            }
+        }
+    }
+
+    /// Candidate order within a task never changes the outcome (the
+    /// tie-break is a function of scores, not arrival order).
+    #[test]
+    fn selection_is_order_invariant(cands in instance(), seed in 0u64..1000) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let sel1 = select_winners(&cands, &TieBreak::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let shuffled: BTreeMap<TaskId, Vec<Candidate>> = cands
+            .iter()
+            .map(|(t, cs)| {
+                let mut cs = cs.clone();
+                cs.shuffle(&mut rng);
+                (*t, cs)
+            })
+            .collect();
+        let sel2 = select_winners(&shuffled, &TieBreak::default());
+        prop_assert_eq!(sel1.assignments, sel2.assignments);
+    }
+
+    /// Every permutation of the criteria yields a complete, sound
+    /// selection; the paper's order minimises distance among them.
+    #[test]
+    fn paper_order_is_distance_minimal(cands in instance()) {
+        let paper = select_winners(&cands, &TieBreak::default());
+        for tb in TieBreak::permutations() {
+            let sel = select_winners(&cands, &tb);
+            prop_assert_eq!(sel.assignments.len(), paper.assignments.len());
+            // Paper order leads with Distance, so no other order can beat
+            // it on total distance (per-task independent minima).
+            prop_assert!(paper.total_distance <= sel.total_distance + 1e-9);
+        }
+    }
+
+    /// Adding a candidate to an already-served task can only improve (or
+    /// keep) the total distance. (Adding one to an *empty* pool places a
+    /// previously unassigned task, which legitimately raises the total —
+    /// excluded here.)
+    #[test]
+    fn more_candidates_never_hurt_distance(cands in instance(), extra in candidate()) {
+        let before = select_winners(&cands, &TieBreak::default());
+        let mut bigger = cands.clone();
+        let mut touched = false;
+        for (_, pool) in bigger.iter_mut() {
+            if !pool.is_empty() && !pool.iter().any(|c| c.node == extra.node) {
+                pool.push(extra);
+                touched = true;
+                break;
+            }
+        }
+        prop_assume!(touched);
+        let after = select_winners(&bigger, &TieBreak::default());
+        prop_assert!(after.total_distance <= before.total_distance + 1e-9);
+    }
+}

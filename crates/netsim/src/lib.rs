@@ -1,0 +1,39 @@
+//! # qosc-netsim — deterministic ad-hoc wireless network simulator
+//!
+//! The paper evaluates coalition formation in "a local ad-hoc network
+//! [that] forms spontaneously, as nodes move in range of each other" (§1).
+//! Lacking 2005-era handhelds and radios, this crate substitutes a
+//! discrete-event simulator that reproduces exactly what the protocol
+//! observes: connectivity (unit-disc radio over 2-D positions), message
+//! latency (base MAC latency + serialisation at a bitrate), optional
+//! message loss (grey-zone edge model), topology churn (random-waypoint
+//! mobility) and node failures.
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-µs simulated clock.
+//! * [`Point`] / [`Area`] — placement geometry.
+//! * [`Mobility`] / [`MobilityState`] — static & random-waypoint walks.
+//! * [`RadioModel`] — range, bitrate, latency, loss.
+//! * [`Simulator`] + [`NetApp`] — the event loop and the sans-IO protocol
+//!   hook; applications send via [`Ctx`].
+//! * [`NetStats`] — message/latency counters for the T1 experiment.
+//!
+//! Determinism: all randomness flows through one seeded `StdRng`, events
+//! are totally ordered by `(time, sequence)`, and the clock is integral —
+//! equal seeds give bit-identical traces (asserted by tests).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod geometry;
+mod mobility;
+mod radio;
+mod sim;
+mod stats;
+mod time;
+
+pub use geometry::{Area, Point};
+pub use mobility::{Mobility, MobilityState};
+pub use radio::RadioModel;
+pub use sim::{Ctx, NetApp, NodeId, SimConfig, Simulator};
+pub use stats::NetStats;
+pub use time::{SimDuration, SimTime};

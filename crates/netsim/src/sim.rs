@@ -1,0 +1,781 @@
+//! The discrete-event simulator core.
+//!
+//! [`Simulator`] owns the node table (positions, mobility, liveness), the
+//! radio model, a seeded RNG and a totally ordered event heap. Application
+//! logic — the negotiation protocol — lives *outside* the simulator behind
+//! the sans-IO [`NetApp`] trait: handlers receive events plus a [`Ctx`]
+//! through which they emit unicast/broadcast/timer commands. The simulator
+//! applies the commands after each handler returns, which keeps handlers
+//! free of borrow entanglement and makes every run bit-reproducible for a
+//! given seed (events are ordered by `(time, sequence-number)`).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::geometry::{Area, Point};
+use crate::mobility::{Mobility, MobilityState};
+use crate::radio::RadioModel;
+use crate::stats::NetStats;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a simulated node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Simulation-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The plane nodes live on.
+    pub area: Area,
+    /// Radio/link model shared by all nodes.
+    pub radio: RadioModel,
+    /// Interval at which node positions are advanced. Mobility between
+    /// ticks is piecewise linear; 100 ms is plenty for pedestrian speeds.
+    pub mobility_tick: SimDuration,
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            area: Area::new(200.0, 200.0),
+            radio: RadioModel::default(),
+            mobility_tick: SimDuration::millis(100),
+            seed: 0,
+        }
+    }
+}
+
+/// Application protocol plugged into the simulator (sans-IO).
+pub trait NetApp<M> {
+    /// A message from `from` arrived at `at`.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, at: NodeId, from: NodeId, msg: &M);
+    /// A timer armed by `at` (token chosen by the app) fired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, at: NodeId, token: u64);
+    /// `node` was killed (failure injection).
+    fn on_node_down(&mut self, _ctx: &mut Ctx<'_, M>, _node: NodeId) {}
+    /// `node` came back up.
+    fn on_node_up(&mut self, _ctx: &mut Ctx<'_, M>, _node: NodeId) {}
+}
+
+enum EventKind<M> {
+    Deliver {
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        sent_at: SimTime,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    MobilityTick,
+    Down(NodeId),
+    Up(NodeId),
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct NodeSlot {
+    pos: Point,
+    mobility: MobilityState,
+    up: bool,
+}
+
+/// Commands an application handler may emit through [`Ctx`].
+enum Command<M> {
+    Unicast {
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        msg: M,
+    },
+    Broadcast {
+        src: NodeId,
+        bytes: u64,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        delay: SimDuration,
+        token: u64,
+    },
+}
+
+/// Handler-side view of the simulation: current time, RNG, connectivity
+/// queries, and the command sink.
+pub struct Ctx<'a, M> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Deterministic per-run RNG, shared with the simulator.
+    pub rng: &'a mut StdRng,
+    cmds: Vec<Command<M>>,
+    positions: Vec<(Point, bool)>,
+    radio: &'a RadioModel,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Sends `msg` from `src` to `dst` (single hop). Delivery, loss and
+    /// latency are decided by the simulator from the topology at *send*
+    /// time.
+    pub fn unicast(&mut self, src: NodeId, dst: NodeId, bytes: u64, msg: M) {
+        self.cmds.push(Command::Unicast {
+            src,
+            dst,
+            bytes,
+            msg,
+        });
+    }
+
+    /// Broadcasts `msg` from `src` to every in-range, live neighbour.
+    /// Requires `M: Clone` at application level; cloning happens in the
+    /// simulator per delivery.
+    pub fn broadcast(&mut self, src: NodeId, bytes: u64, msg: M) {
+        self.cmds.push(Command::Broadcast { src, bytes, msg });
+    }
+
+    /// Arms a one-shot timer at `node` after `delay`.
+    pub fn timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
+        self.cmds.push(Command::Timer { node, delay, token });
+    }
+
+    /// Live single-hop neighbours of `node` under the current topology.
+    pub fn neighbours(&self, node: NodeId) -> Vec<NodeId> {
+        let Some(&(p, up)) = self.positions.get(node.0 as usize) else {
+            return Vec::new();
+        };
+        if !up {
+            return Vec::new();
+        }
+        self.positions
+            .iter()
+            .enumerate()
+            .filter(|(i, (q, qup))| {
+                *i != node.0 as usize && *qup && self.radio.in_range(p.distance(q))
+            })
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Whether two nodes currently share a live link.
+    pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        match (
+            self.positions.get(a.0 as usize),
+            self.positions.get(b.0 as usize),
+        ) {
+            (Some(&(pa, ua)), Some(&(pb, ub))) => {
+                ua && ub && self.radio.in_range(pa.distance(&pb))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The deterministic discrete-event network simulator.
+pub struct Simulator<M> {
+    config: SimConfig,
+    nodes: Vec<NodeSlot>,
+    heap: BinaryHeap<Scheduled<M>>,
+    seq: u64,
+    now: SimTime,
+    rng: StdRng,
+    stats: NetStats,
+    mobility_armed: bool,
+}
+
+impl<M: Clone> Simulator<M> {
+    /// Creates an empty simulation.
+    pub fn new(config: SimConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            nodes: Vec::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            rng,
+            stats: NetStats::default(),
+            mobility_armed: false,
+        }
+    }
+
+    /// Adds a node at `pos` with the given mobility; returns its id.
+    pub fn add_node(&mut self, pos: Point, mobility: Mobility) -> NodeId {
+        let pos = self.config.area.clamp(pos);
+        let id = NodeId(self.nodes.len() as u32);
+        let mobile = !matches!(mobility, Mobility::Static);
+        self.nodes.push(NodeSlot {
+            pos,
+            mobility: MobilityState::new(mobility, pos),
+            up: true,
+        });
+        if mobile && !self.mobility_armed {
+            self.mobility_armed = true;
+            let at = self.now + self.config.mobility_tick;
+            self.push(at, EventKind::MobilityTick);
+        }
+        id
+    }
+
+    /// Adds a node at a uniformly random position.
+    pub fn add_node_random(&mut self, mobility: Mobility) -> NodeId {
+        let p = self.config.area.sample(&mut self.rng);
+        self.add_node(p, mobility)
+    }
+
+    /// Current time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Position of a node.
+    pub fn position(&self, n: NodeId) -> Option<Point> {
+        self.nodes.get(n.0 as usize).map(|s| s.pos)
+    }
+
+    /// Liveness of a node.
+    pub fn is_up(&self, n: NodeId) -> bool {
+        self.nodes.get(n.0 as usize).map(|s| s.up).unwrap_or(false)
+    }
+
+    /// Network counters accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The radio model in force.
+    pub fn radio(&self) -> &RadioModel {
+        &self.config.radio
+    }
+
+    /// Schedules a timer for the application (e.g. to bootstrap it).
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
+        let at = self.now + delay;
+        self.push(at, EventKind::Timer { node, token });
+    }
+
+    /// Schedules a failure: `node` goes down at `now + delay`.
+    pub fn schedule_down(&mut self, node: NodeId, delay: SimDuration) {
+        let at = self.now + delay;
+        self.push(at, EventKind::Down(node));
+    }
+
+    /// Schedules a recovery: `node` comes back at `now + delay`.
+    pub fn schedule_up(&mut self, node: NodeId, delay: SimDuration) {
+        let at = self.now + delay;
+        self.push(at, EventKind::Up(node));
+    }
+
+    /// Live single-hop neighbours of `node`.
+    pub fn neighbours(&self, node: NodeId) -> Vec<NodeId> {
+        let Some(slot) = self.nodes.get(node.0 as usize) else {
+            return Vec::new();
+        };
+        if !slot.up {
+            return Vec::new();
+        }
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                *i != node.0 as usize
+                    && s.up
+                    && self.config.radio.in_range(slot.pos.distance(&s.pos))
+            })
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// All nodes reachable from `node` over live multi-hop paths
+    /// (including itself). Used by connectivity statistics.
+    pub fn reachable_set(&self, node: NodeId) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut seen = vec![false; n];
+        let mut queue = vec![node];
+        if node.0 as usize >= n || !self.nodes[node.0 as usize].up {
+            return Vec::new();
+        }
+        seen[node.0 as usize] = true;
+        let mut out = Vec::new();
+        while let Some(u) = queue.pop() {
+            out.push(u);
+            for v in self.neighbours(u) {
+                if !seen[v.0 as usize] {
+                    seen[v.0 as usize] = true;
+                    queue.push(v);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, kind });
+    }
+
+    fn apply_commands(&mut self, cmds: Vec<Command<M>>) {
+        for cmd in cmds {
+            match cmd {
+                Command::Unicast {
+                    src,
+                    dst,
+                    bytes,
+                    msg,
+                } => self.submit_unicast(src, dst, bytes, msg),
+                Command::Broadcast { src, bytes, msg } => self.submit_broadcast(src, bytes, msg),
+                Command::Timer { node, delay, token } => {
+                    let at = self.now + delay;
+                    self.push(at, EventKind::Timer { node, token });
+                }
+            }
+        }
+    }
+
+    fn submit_unicast(&mut self, src: NodeId, dst: NodeId, bytes: u64, msg: M) {
+        self.stats.unicasts_sent += 1;
+        let (Some(s), Some(d)) = (self.nodes.get(src.0 as usize), self.nodes.get(dst.0 as usize))
+        else {
+            self.stats.unicasts_unreachable += 1;
+            return;
+        };
+        if !s.up || !d.up {
+            self.stats.unicasts_unreachable += 1;
+            return;
+        }
+        let dist = s.pos.distance(&d.pos);
+        if !self.config.radio.in_range(dist) {
+            self.stats.unicasts_unreachable += 1;
+            return;
+        }
+        if self.config.radio.drops(dist, &mut self.rng) {
+            self.stats.unicasts_lost += 1;
+            return;
+        }
+        let latency = self.config.radio.latency(bytes);
+        let at = self.now + latency;
+        let sent_at = self.now;
+        self.push(
+            at,
+            EventKind::Deliver {
+                src,
+                dst,
+                bytes,
+                sent_at,
+                msg,
+            },
+        );
+    }
+
+    fn submit_broadcast(&mut self, src: NodeId, bytes: u64, msg: M) {
+        self.stats.broadcasts_sent += 1;
+        let Some(s) = self.nodes.get(src.0 as usize) else {
+            return;
+        };
+        if !s.up {
+            return;
+        }
+        let src_pos = s.pos;
+        let latency = self.config.radio.latency(bytes);
+        let targets: Vec<(NodeId, f64)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| *i != src.0 as usize && d.up)
+            .map(|(i, d)| (NodeId(i as u32), src_pos.distance(&d.pos)))
+            .filter(|(_, dist)| self.config.radio.in_range(*dist))
+            .collect();
+        for (dst, dist) in targets {
+            if self.config.radio.drops(dist, &mut self.rng) {
+                self.stats.unicasts_lost += 1;
+                continue;
+            }
+            let at = self.now + latency;
+            let sent_at = self.now;
+            self.push(
+                at,
+                EventKind::Deliver {
+                    src,
+                    dst,
+                    bytes,
+                    sent_at,
+                    msg: msg.clone(),
+                },
+            );
+        }
+    }
+
+    /// Processes the next event through `app`. Returns the new time, or
+    /// `None` when the heap is empty.
+    pub fn step<A: NetApp<M>>(&mut self, app: &mut A) -> Option<SimTime> {
+        let ev = self.heap.pop()?;
+        self.now = ev.at;
+        match ev.kind {
+            EventKind::MobilityTick => {
+                let dt = self.config.mobility_tick;
+                let area = self.config.area;
+                for slot in &mut self.nodes {
+                    slot.pos = slot.mobility.advance(slot.pos, dt, &area, &mut self.rng);
+                }
+                let at = self.now + dt;
+                self.push(at, EventKind::MobilityTick);
+            }
+            EventKind::Deliver {
+                src,
+                dst,
+                bytes,
+                sent_at,
+                msg,
+            } => {
+                // The destination may have died in flight.
+                if self.is_up(dst) {
+                    self.stats.unicasts_delivered += 1;
+                    self.stats.broadcast_deliveries += 1;
+                    let latency = self.now.since(sent_at);
+                    self.stats.record_delivery(latency, bytes);
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        rng: &mut self.rng,
+                        cmds: Vec::new(),
+                        positions: self.nodes.iter().map(|s| (s.pos, s.up)).collect(),
+                        radio: &self.config.radio,
+                    };
+                    app.on_message(&mut ctx, dst, src, &msg);
+                    let cmds = ctx.cmds;
+                    self.apply_commands(cmds);
+                } else {
+                    self.stats.unicasts_unreachable += 1;
+                }
+            }
+            EventKind::Timer { node, token } => {
+                if self.is_up(node) {
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        rng: &mut self.rng,
+                        cmds: Vec::new(),
+                        positions: self.nodes.iter().map(|s| (s.pos, s.up)).collect(),
+                        radio: &self.config.radio,
+                    };
+                    app.on_timer(&mut ctx, node, token);
+                    let cmds = ctx.cmds;
+                    self.apply_commands(cmds);
+                }
+            }
+            EventKind::Down(node) => {
+                if let Some(s) = self.nodes.get_mut(node.0 as usize) {
+                    s.up = false;
+                }
+                let positions = self.nodes.iter().map(|s| (s.pos, s.up)).collect();
+                let mut ctx = Ctx {
+                    now: self.now,
+                    rng: &mut self.rng,
+                    cmds: Vec::new(),
+                    positions,
+                    radio: &self.config.radio,
+                };
+                app.on_node_down(&mut ctx, node);
+                let cmds = ctx.cmds;
+                self.apply_commands(cmds);
+            }
+            EventKind::Up(node) => {
+                if let Some(s) = self.nodes.get_mut(node.0 as usize) {
+                    s.up = true;
+                }
+                let positions = self.nodes.iter().map(|s| (s.pos, s.up)).collect();
+                let mut ctx = Ctx {
+                    now: self.now,
+                    rng: &mut self.rng,
+                    cmds: Vec::new(),
+                    positions,
+                    radio: &self.config.radio,
+                };
+                app.on_node_up(&mut ctx, node);
+                let cmds = ctx.cmds;
+                self.apply_commands(cmds);
+            }
+        }
+        Some(self.now)
+    }
+
+    /// Runs until the heap drains or `deadline` passes. Returns the number
+    /// of events processed. The perpetual mobility tick does not count as
+    /// progress, so a simulation with only mobile nodes and no protocol
+    /// activity still terminates at the deadline.
+    pub fn run_until<A: NetApp<M>>(&mut self, app: &mut A, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(&Scheduled { at, .. }) = self.heap.peek().map(|s| s as &Scheduled<M>) {
+            if at > deadline {
+                self.now = deadline;
+                break;
+            }
+            if self.step(app).is_none() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An app that floods a counter message one hop and records receipts.
+    struct Echo {
+        received: Vec<(NodeId, NodeId, u32)>,
+        reply: bool,
+    }
+
+    impl NetApp<u32> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, at: NodeId, from: NodeId, msg: &u32) {
+            self.received.push((at, from, *msg));
+            if self.reply && *msg < 10 {
+                ctx.unicast(at, from, 100, *msg + 1);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, at: NodeId, token: u64) {
+            if token == 1 {
+                ctx.broadcast(at, 100, 0);
+            }
+        }
+    }
+
+    fn two_node_sim(distance: f64) -> (Simulator<u32>, NodeId, NodeId) {
+        let mut sim = Simulator::new(SimConfig {
+            area: Area::new(1000.0, 1000.0),
+            ..Default::default()
+        });
+        let a = sim.add_node(Point::new(0.0, 0.0), Mobility::Static);
+        let b = sim.add_node(Point::new(distance, 0.0), Mobility::Static);
+        (sim, a, b)
+    }
+
+    #[test]
+    fn broadcast_reaches_in_range_nodes_only() {
+        let (mut sim, a, _b) = two_node_sim(30.0);
+        let far = sim.add_node(Point::new(500.0, 0.0), Mobility::Static);
+        sim.schedule_timer(a, SimDuration::millis(1), 1);
+        let mut app = Echo {
+            received: vec![],
+            reply: false,
+        };
+        sim.run_until(&mut app, SimTime(10_000_000));
+        assert_eq!(app.received.len(), 1);
+        assert_eq!(app.received[0].0 .0, 1); // node b
+        assert!(app.received.iter().all(|(at, _, _)| *at != far));
+        assert_eq!(sim.stats().broadcasts_sent, 1);
+    }
+
+    #[test]
+    fn unicast_ping_pong_terminates() {
+        let (mut sim, a, _b) = two_node_sim(30.0);
+        sim.schedule_timer(a, SimDuration::millis(1), 1);
+        let mut app = Echo {
+            received: vec![],
+            reply: true,
+        };
+        sim.run_until(&mut app, SimTime(10_000_000));
+        // Broadcast 0 → b; replies 1..=10 alternate a/b: 11 receipts total.
+        assert_eq!(app.received.len(), 11);
+        let msgs: Vec<u32> = app.received.iter().map(|r| r.2).collect();
+        assert_eq!(msgs, (0..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn out_of_range_unicast_is_unreachable() {
+        let (mut sim, a, b) = two_node_sim(500.0);
+        struct Once;
+        impl NetApp<u32> for Once {
+            fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: NodeId, _: &u32) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, at: NodeId, _: u64) {
+                ctx.unicast(at, NodeId(1), 50, 7);
+            }
+        }
+        let _ = b;
+        sim.schedule_timer(a, SimDuration::millis(1), 0);
+        sim.run_until(&mut Once, SimTime(10_000_000));
+        assert_eq!(sim.stats().unicasts_sent, 1);
+        assert_eq!(sim.stats().unicasts_unreachable, 1);
+        assert_eq!(sim.stats().unicasts_delivered, 0);
+    }
+
+    #[test]
+    fn dead_node_neither_sends_nor_receives() {
+        let (mut sim, a, b) = two_node_sim(30.0);
+        sim.schedule_down(b, SimDuration::micros(1));
+        sim.schedule_timer(a, SimDuration::millis(1), 1);
+        let mut app = Echo {
+            received: vec![],
+            reply: false,
+        };
+        sim.run_until(&mut app, SimTime(10_000_000));
+        assert!(app.received.is_empty());
+        assert!(!sim.is_up(b));
+        assert!(sim.is_up(a));
+    }
+
+    #[test]
+    fn node_recovery_restores_delivery() {
+        let (mut sim, a, b) = two_node_sim(30.0);
+        sim.schedule_down(b, SimDuration::micros(1));
+        sim.schedule_up(b, SimDuration::millis(5));
+        sim.schedule_timer(a, SimDuration::millis(10), 1);
+        let mut app = Echo {
+            received: vec![],
+            reply: false,
+        };
+        sim.run_until(&mut app, SimTime(10_000_000));
+        assert_eq!(app.received.len(), 1);
+    }
+
+    #[test]
+    fn in_flight_message_to_dying_node_is_dropped() {
+        let (mut sim, a, b) = two_node_sim(30.0);
+        // Message latency is ~2 ms; kill b at 1.5 ms, send at 1 ms.
+        sim.schedule_timer(a, SimDuration::millis(1), 1);
+        sim.schedule_down(b, SimDuration::micros(1500));
+        let mut app = Echo {
+            received: vec![],
+            reply: false,
+        };
+        sim.run_until(&mut app, SimTime(10_000_000));
+        assert!(app.received.is_empty());
+    }
+
+    #[test]
+    fn neighbours_and_reachability() {
+        let mut sim: Simulator<u32> = Simulator::new(SimConfig {
+            area: Area::new(1000.0, 1000.0),
+            radio: RadioModel {
+                range_m: 50.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        // Chain: a - b - c, with c out of a's direct range.
+        let a = sim.add_node(Point::new(0.0, 0.0), Mobility::Static);
+        let b = sim.add_node(Point::new(40.0, 0.0), Mobility::Static);
+        let c = sim.add_node(Point::new(80.0, 0.0), Mobility::Static);
+        assert_eq!(sim.neighbours(a), vec![b]);
+        assert_eq!(sim.neighbours(b), vec![a, c]);
+        assert_eq!(sim.reachable_set(a), vec![a, b, c]);
+        sim.schedule_down(b, SimDuration::micros(1));
+        struct Noop;
+        impl NetApp<u32> for Noop {
+            fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: NodeId, _: &u32) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: u64) {}
+        }
+        sim.run_until(&mut Noop, SimTime(1_000));
+        assert_eq!(sim.reachable_set(a), vec![a]);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(SimConfig {
+                seed,
+                area: Area::new(100.0, 100.0),
+                ..Default::default()
+            });
+            for _ in 0..10 {
+                sim.add_node_random(Mobility::RandomWaypoint {
+                    min_speed: 1.0,
+                    max_speed: 3.0,
+                    pause: SimDuration::millis(500),
+                });
+            }
+            sim.schedule_timer(NodeId(0), SimDuration::millis(1), 1);
+            let mut app = Echo {
+                received: vec![],
+                reply: false,
+            };
+            sim.run_until(&mut app, SimTime(5_000_000));
+            (app.received, sim.stats().clone())
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn mobility_changes_topology_over_time() {
+        let mut sim: Simulator<u32> = Simulator::new(SimConfig {
+            area: Area::new(300.0, 300.0),
+            radio: RadioModel {
+                range_m: 40.0,
+                ..Default::default()
+            },
+            seed: 5,
+            ..Default::default()
+        });
+        for _ in 0..12 {
+            sim.add_node_random(Mobility::RandomWaypoint {
+                min_speed: 5.0,
+                max_speed: 10.0,
+                pause: SimDuration::ZERO,
+            });
+        }
+        struct Noop;
+        impl NetApp<u32> for Noop {
+            fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: NodeId, _: &u32) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: u64) {}
+        }
+        let before: Vec<_> = (0..12).map(|i| sim.neighbours(NodeId(i))).collect();
+        sim.run_until(&mut Noop, SimTime(60_000_000)); // 60 s
+        let after: Vec<_> = (0..12).map(|i| sim.neighbours(NodeId(i))).collect();
+        assert_ne!(before, after, "60 s at 5-10 m/s must change neighbourhoods");
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let (mut sim, a, _b) = two_node_sim(30.0);
+        sim.schedule_timer(a, SimDuration::secs(100), 1);
+        let mut app = Echo {
+            received: vec![],
+            reply: false,
+        };
+        let n = sim.run_until(&mut app, SimTime(1_000_000));
+        assert_eq!(n, 0);
+        assert_eq!(sim.now(), SimTime(1_000_000));
+        assert!(app.received.is_empty());
+    }
+}

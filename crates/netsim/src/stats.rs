@@ -1,0 +1,96 @@
+//! Network observability counters.
+//!
+//! T1 of the experiment suite reports protocol message counts and latency;
+//! these counters are maintained by the simulator so harness code never has
+//! to instrument the protocol by hand.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Aggregate counters for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Unicast messages submitted.
+    pub unicasts_sent: u64,
+    /// Unicast messages delivered.
+    pub unicasts_delivered: u64,
+    /// Unicasts dropped: destination out of range or down at send time.
+    pub unicasts_unreachable: u64,
+    /// Unicasts dropped by the loss model.
+    pub unicasts_lost: u64,
+    /// Broadcast messages submitted.
+    pub broadcasts_sent: u64,
+    /// Per-neighbour broadcast deliveries.
+    pub broadcast_deliveries: u64,
+    /// Total payload bytes delivered (unicast + broadcast copies).
+    pub bytes_delivered: u64,
+    /// Sum of delivery latencies (for the mean).
+    latency_sum_us: u64,
+    /// Number of latency samples.
+    latency_samples: u64,
+}
+
+impl NetStats {
+    /// Records one delivered message's latency and size.
+    pub(crate) fn record_delivery(&mut self, latency: SimDuration, bytes: u64) {
+        self.latency_sum_us += latency.as_micros();
+        self.latency_samples += 1;
+        self.bytes_delivered += bytes;
+    }
+
+    /// Mean delivery latency over all delivered messages.
+    pub fn mean_latency(&self) -> SimDuration {
+        if self.latency_samples == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::micros(self.latency_sum_us / self.latency_samples)
+        }
+    }
+
+    /// All messages that entered the medium (unicasts + broadcasts).
+    pub fn messages_sent(&self) -> u64 {
+        self.unicasts_sent + self.broadcasts_sent
+    }
+
+    /// Delivery ratio over unicasts (1.0 when none were sent).
+    pub fn unicast_delivery_ratio(&self) -> f64 {
+        if self.unicasts_sent == 0 {
+            1.0
+        } else {
+            self.unicasts_delivered as f64 / self.unicasts_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_latency_averages() {
+        let mut s = NetStats::default();
+        s.record_delivery(SimDuration::millis(2), 10);
+        s.record_delivery(SimDuration::millis(4), 20);
+        assert_eq!(s.mean_latency(), SimDuration::millis(3));
+        assert_eq!(s.bytes_delivered, 30);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = NetStats::default();
+        assert_eq!(s.mean_latency(), SimDuration::ZERO);
+        assert_eq!(s.unicast_delivery_ratio(), 1.0);
+        assert_eq!(s.messages_sent(), 0);
+    }
+
+    #[test]
+    fn delivery_ratio() {
+        let s = NetStats {
+            unicasts_sent: 4,
+            unicasts_delivered: 3,
+            ..Default::default()
+        };
+        assert!((s.unicast_delivery_ratio() - 0.75).abs() < 1e-12);
+    }
+}

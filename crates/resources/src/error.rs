@@ -1,0 +1,61 @@
+//! Resource-layer errors.
+
+use std::fmt;
+
+use crate::kind::ResourceKind;
+
+/// Errors from reservation and admission operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResourceError {
+    /// The requested amount exceeds what the manager has available.
+    Insufficient {
+        /// Resource kind that ran out.
+        kind: ResourceKind,
+        /// Amount requested.
+        requested: f64,
+        /// Amount actually available.
+        available: f64,
+    },
+    /// NaN, infinite or negative amount.
+    InvalidAmount,
+    /// Commit/release of a hold id this manager never issued (or already
+    /// released/expired).
+    UnknownHold,
+}
+
+impl fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceError::Insufficient {
+                kind,
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient {kind}: requested {requested:.2}, available {available:.2}"
+            ),
+            ResourceError::InvalidAmount => write!(f, "amount must be finite and non-negative"),
+            ResourceError::UnknownHold => write!(f, "unknown or already-released hold"),
+        }
+    }
+}
+
+impl std::error::Error for ResourceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_kind_and_amounts() {
+        let e = ResourceError::Insufficient {
+            kind: ResourceKind::Cpu,
+            requested: 50.0,
+            available: 10.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cpu"));
+        assert!(s.contains("50.00"));
+        assert!(s.contains("10.00"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # qosc-resources — Resource Managers, reservations & admission control
+//!
+//! Implements the resource substrate of §4.1/§5 of *Dynamic QoS-Aware
+//! Coalition Formation*: the "limited hardware or software quantities
+//! supplied by a specific node", the Resource Manager objects that grant
+//! them, the schedulability predicate the §5 heuristic loops on, and the
+//! a-priori QoS→resource demand analysis the paper assumes.
+//!
+//! * [`ResourceKind`], [`ResourceVector`] — the resource space.
+//! * [`ResourceManager`], [`NodeLedger`] — per-resource two-phase
+//!   reservation (tentative hold during negotiation, committed grant after
+//!   award, expiry for dead negotiations).
+//! * [`AdmissionControl`], [`SchedulingPolicy`] — "while the set of tasks
+//!   is not schedulable…" (§5).
+//! * [`DemandModel`], [`LinearDemandModel`] — quality → resource demand.
+//! * [`DeviceClass`], [`NodeProfile`] — the heterogeneous population of §2.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod admission;
+mod demand;
+mod error;
+mod kind;
+mod manager;
+mod profile;
+
+pub use admission::{AdmissionControl, SchedulingPolicy};
+pub use demand::{av_demand_model, DemandModel, DemandTerm, Feature, LinearDemandModel};
+pub use error::ResourceError;
+pub use kind::{ResourceKind, ResourceVector};
+pub use manager::{HoldId, HoldState, NodeLedger, ResourceManager, VectorHold};
+pub use profile::{DeviceClass, NodeProfile};

@@ -1,0 +1,74 @@
+//! Property-based tests over the resource ledger's conservation invariants.
+
+use proptest::prelude::*;
+use qosc_resources::{NodeLedger, ResourceKind, ResourceVector};
+
+fn small_demand() -> impl Strategy<Value = ResourceVector> {
+    (0.0f64..30.0, 0.0f64..30.0, 0.0f64..30.0, 0.0f64..30.0, 0.0f64..30.0)
+        .prop_map(|(a, b, c, d, e)| ResourceVector::new(a, b, c, d, e))
+}
+
+proptest! {
+    /// Conservation: after any sequence of prepare/commit/release, for every
+    /// kind `available + held == capacity` (within fp tolerance), and
+    /// releasing everything restores full capacity.
+    #[test]
+    fn ledger_conserves_capacity(demands in proptest::collection::vec(small_demand(), 1..12)) {
+        let cap = ResourceVector::new(100.0, 100.0, 100.0, 100.0, 100.0);
+        let mut ledger = NodeLedger::new(cap);
+        let mut holds = Vec::new();
+        for d in &demands {
+            if let Ok(h) = ledger.prepare(d, 1000) {
+                holds.push(h);
+            }
+            for k in ResourceKind::ALL {
+                let avail = ledger.available().get(k);
+                let held = ledger.manager(k).held();
+                prop_assert!((avail + held - cap.get(k)).abs() < 1e-6);
+            }
+        }
+        // Commit half, release the rest; committed stay held.
+        let mid = holds.len() / 2;
+        for h in &holds[..mid] {
+            ledger.commit(*h).unwrap();
+        }
+        for h in &holds[mid..] {
+            ledger.release(*h);
+        }
+        // Expiry never touches committed grants.
+        ledger.expire(u64::MAX);
+        for h in &holds[..mid] {
+            ledger.release(*h);
+        }
+        for k in ResourceKind::ALL {
+            prop_assert!((ledger.available().get(k) - cap.get(k)).abs() < 1e-6);
+        }
+    }
+
+    /// A prepared demand always fit availability at the time of the call,
+    /// and a rejected one exceeded it in some component.
+    #[test]
+    fn prepare_respects_availability(demands in proptest::collection::vec(small_demand(), 1..12)) {
+        let cap = ResourceVector::new(50.0, 50.0, 50.0, 50.0, 50.0);
+        let mut ledger = NodeLedger::new(cap);
+        for d in &demands {
+            let avail_before = ledger.available();
+            match ledger.prepare(d, 10) {
+                Ok(_) => prop_assert!(d.fits_within(&avail_before)),
+                Err(_) => prop_assert!(!d.fits_within(&avail_before)),
+            }
+        }
+    }
+
+    /// Failed vector prepare must not leak partial holds.
+    #[test]
+    fn failed_prepare_leaks_nothing(cpu in 60.0f64..200.0) {
+        // Memory capacity is tiny, so this demand always fails on memory
+        // after cpu may have been held.
+        let cap = ResourceVector::new(100.0, 1.0, 100.0, 100.0, 100.0);
+        let mut ledger = NodeLedger::new(cap);
+        let demand = ResourceVector::new(cpu.min(90.0), 50.0, 0.0, 0.0, 0.0);
+        prop_assert!(ledger.prepare(&demand, 10).is_err());
+        prop_assert_eq!(ledger.available(), cap);
+    }
+}

@@ -1,0 +1,119 @@
+//! Error types for specification construction and request resolution.
+
+use std::fmt;
+
+/// Errors raised while validating a QoS specification or resolving a
+/// service request against one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A discrete domain was declared with no values.
+    EmptyDomain,
+    /// A discrete domain lists the same value twice, which would make the
+    /// Quality-Index `pos(·)` mapping (eq. 5) ambiguous.
+    DuplicateDomainValue,
+    /// A continuous interval with `min > max` or non-finite bounds.
+    InvalidInterval,
+    /// Two dimensions (or two attributes within one dimension) share a name.
+    DuplicateName(String),
+    /// A specification must declare at least one dimension, and every
+    /// dimension at least one attribute.
+    EmptySpec,
+    /// The request names a dimension the specification does not declare.
+    UnknownDimension(String),
+    /// The request names an attribute the dimension does not declare.
+    UnknownAttribute {
+        /// Dimension the lookup happened in.
+        dimension: String,
+        /// The attribute that was not found.
+        attribute: String,
+    },
+    /// A requested value lies outside the attribute's declared domain.
+    ValueOutsideDomain {
+        /// Dimension name.
+        dimension: String,
+        /// Attribute name.
+        attribute: String,
+        /// Rendering of the offending value.
+        value: String,
+    },
+    /// A requested value has the wrong type for the attribute's domain.
+    TypeMismatch {
+        /// Dimension name.
+        dimension: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// An attribute preference expanded to zero acceptable levels.
+    EmptyPreference {
+        /// Dimension name.
+        dimension: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// The same dimension or attribute appears twice in one request.
+    DuplicateRequestEntry(String),
+    /// A dependency references an attribute path outside the specification.
+    DanglingDependency,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyDomain => write!(f, "discrete domain has no values"),
+            SpecError::DuplicateDomainValue => {
+                write!(f, "discrete domain lists a value twice (pos would be ambiguous)")
+            }
+            SpecError::InvalidInterval => write!(f, "continuous interval is empty or non-finite"),
+            SpecError::DuplicateName(n) => write!(f, "duplicate name `{n}` in specification"),
+            SpecError::EmptySpec => {
+                write!(f, "specification needs >=1 dimension and >=1 attribute per dimension")
+            }
+            SpecError::UnknownDimension(d) => write!(f, "request names unknown dimension `{d}`"),
+            SpecError::UnknownAttribute { dimension, attribute } => {
+                write!(f, "request names unknown attribute `{attribute}` in dimension `{dimension}`")
+            }
+            SpecError::ValueOutsideDomain { dimension, attribute, value } => write!(
+                f,
+                "value `{value}` for `{dimension}.{attribute}` is outside the declared domain"
+            ),
+            SpecError::TypeMismatch { dimension, attribute } => {
+                write!(f, "value type mismatch for `{dimension}.{attribute}`")
+            }
+            SpecError::EmptyPreference { dimension, attribute } => {
+                write!(f, "preference for `{dimension}.{attribute}` expands to no levels")
+            }
+            SpecError::DuplicateRequestEntry(n) => {
+                write!(f, "request lists `{n}` more than once")
+            }
+            SpecError::DanglingDependency => {
+                write!(f, "dependency references an attribute outside the specification")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SpecError::ValueOutsideDomain {
+            dimension: "Video Quality".into(),
+            attribute: "frame_rate".into(),
+            value: "99".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("Video Quality"));
+        assert!(s.contains("frame_rate"));
+        assert!(s.contains("99"));
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> = Box::new(SpecError::EmptyDomain);
+        assert!(!e.to_string().is_empty());
+    }
+}

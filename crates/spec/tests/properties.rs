@@ -1,0 +1,115 @@
+//! Property-based tests over the specification layer's invariants.
+
+use proptest::prelude::*;
+use qosc_spec::{
+    Attribute, Dimension, Domain, LevelSpec, QosSpec, ServiceRequest, Value,
+};
+
+/// Strategy: a discrete integer domain of 1..=8 distinct values.
+fn discrete_int_domain() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::hash_set(-1000i64..1000, 1..=8)
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+}
+
+/// Strategy: a continuous integer interval.
+fn continuous_int_domain() -> impl Strategy<Value = (i64, i64)> {
+    (-1000i64..1000, 0i64..100).prop_map(|(min, w)| (min, min + w))
+}
+
+proptest! {
+    /// pos(·) is a bijection on discrete domains: position(value_at(i)) == i.
+    #[test]
+    fn discrete_position_roundtrip(vals in discrete_int_domain()) {
+        let d = Domain::DiscreteInt(vals.clone());
+        d.validate().unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(d.position(&Value::Int(*v)), Some(i));
+        }
+    }
+
+    /// Every enumerated value is a member of its domain.
+    #[test]
+    fn enumerate_values_are_members(vals in discrete_int_domain(), steps in 1usize..20) {
+        let d = Domain::DiscreteInt(vals);
+        for v in d.enumerate(steps) {
+            prop_assert!(d.contains(&v));
+        }
+    }
+
+    /// Continuous enumeration also stays inside the interval and covers both
+    /// endpoints when steps >= 2.
+    #[test]
+    fn continuous_enumerate_in_bounds((min, max) in continuous_int_domain(), steps in 2usize..20) {
+        let d = Domain::ContinuousInt { min, max };
+        let vs = d.enumerate(steps);
+        for v in &vs {
+            prop_assert!(d.contains(v));
+        }
+        prop_assert_eq!(vs.first(), Some(&Value::Int(min)));
+        prop_assert_eq!(vs.last(), Some(&Value::Int(max)));
+    }
+
+    /// IntRange expansion preserves the preference direction and membership.
+    #[test]
+    fn int_range_expansion_is_monotone(from in -100i64..100, to in -100i64..100) {
+        let vs = LevelSpec::int_range(from, to).expand();
+        prop_assert_eq!(vs.len() as i64, (from - to).abs() + 1);
+        prop_assert_eq!(vs.first(), Some(&Value::Int(from)));
+        prop_assert_eq!(vs.last(), Some(&Value::Int(to)));
+        // Strictly monotone towards `to`.
+        for w in vs.windows(2) {
+            let (a, b) = (w[0].as_i64().unwrap(), w[1].as_i64().unwrap());
+            if from <= to { prop_assert_eq!(b, a + 1); } else { prop_assert_eq!(b, a - 1); }
+        }
+    }
+
+    /// Resolution of a request whose values are drawn from the domain always
+    /// succeeds, and the resolved ladders contain only domain members with
+    /// the head equal to the first requested value.
+    #[test]
+    fn resolution_preserves_membership_and_head(
+        vals in discrete_int_domain(),
+        pick in proptest::collection::vec(0usize..8, 1..=8),
+    ) {
+        let domain_vals = vals.clone();
+        let spec = QosSpec::builder("p")
+            .dimension(Dimension::new("D", vec![
+                Attribute::new("a", Domain::DiscreteInt(vals.clone())),
+            ]))
+            .build()
+            .unwrap();
+        let levels: Vec<LevelSpec> = pick
+            .iter()
+            .map(|i| LevelSpec::value(domain_vals[i % domain_vals.len()]))
+            .collect();
+        let head = match &levels[0] { LevelSpec::Value(v) => v.clone(), _ => unreachable!() };
+        let req = ServiceRequest::builder("r")
+            .dimension("D")
+            .attribute("a", levels)
+            .build();
+        let r = req.resolve(&spec).unwrap();
+        let ladder = &r.dimensions[0].attributes[0].levels;
+        prop_assert_eq!(&ladder[0], &head);
+        for v in ladder {
+            prop_assert!(domain_vals.contains(&v.as_i64().unwrap()));
+        }
+        // Deduplicated.
+        for (i, v) in ladder.iter().enumerate() {
+            prop_assert!(!ladder[..i].contains(v));
+        }
+    }
+
+    /// quality_vector(level_indexes) returns a vector whose requested
+    /// entries equal the ladder values at those indexes.
+    #[test]
+    fn quality_vector_matches_ladder(idx0 in 0usize..10, idx1 in 0usize..2) {
+        let spec = qosc_spec::catalog::av_spec();
+        let req = qosc_spec::catalog::surveillance_request();
+        let r = req.resolve(&spec).unwrap();
+        let qv = r.quality_vector(&spec, &[idx0, idx1, 0, 0]).unwrap();
+        let fr = spec.path("Video Quality", "frame_rate").unwrap();
+        let cd = spec.path("Video Quality", "color_depth").unwrap();
+        prop_assert_eq!(qv.get(&spec, fr), Some(&r.dimensions[0].attributes[0].levels[idx0]));
+        prop_assert_eq!(qv.get(&spec, cd), Some(&r.dimensions[0].attributes[1].levels[idx1]));
+    }
+}

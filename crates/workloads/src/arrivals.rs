@@ -1,0 +1,101 @@
+//! Poisson service arrivals.
+//!
+//! Service requests "may arrive dynamically" (§5); load sweeps (F2) model
+//! them as a Poisson process: exponential inter-arrival times with a
+//! configurable rate.
+
+use rand::Rng;
+
+use qosc_netsim::{SimDuration, SimTime};
+
+/// Exponential inter-arrival sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonArrivals {
+    /// Mean arrivals per simulated second.
+    pub rate_per_s: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with the given rate (arrivals/second).
+    pub fn new(rate_per_s: f64) -> Self {
+        Self { rate_per_s }
+    }
+
+    /// Samples the next inter-arrival gap.
+    pub fn next_gap(&self, rng: &mut impl Rng) -> SimDuration {
+        if self.rate_per_s <= 0.0 {
+            return SimDuration::secs(u64::MAX / 2_000_000); // effectively never
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let gap_s = -u.ln() / self.rate_per_s;
+        SimDuration::secs_f64(gap_s)
+    }
+
+    /// Samples arrival instants from `start` until `end` (exclusive).
+    pub fn sample_until(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        rng: &mut impl Rng,
+    ) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let mut t = start;
+        loop {
+            t = t + self.next_gap(rng);
+            if t >= end {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_rate_is_approximately_honoured() {
+        let p = PoissonArrivals::new(5.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let arrivals = p.sample_until(SimTime::ZERO, SimTime(100_000_000), &mut rng);
+        // 5/s over 100 s → ~500 arrivals; accept ±20 %.
+        assert!(
+            (400..=600).contains(&arrivals.len()),
+            "got {}",
+            arrivals.len()
+        );
+        // Strictly increasing.
+        for w in arrivals.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_arrives() {
+        let p = PoissonArrivals::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(p
+            .sample_until(SimTime::ZERO, SimTime(10_000_000), &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = PoissonArrivals::new(2.0);
+        let a = p.sample_until(
+            SimTime::ZERO,
+            SimTime(10_000_000),
+            &mut StdRng::seed_from_u64(3),
+        );
+        let b = p.sample_until(
+            SimTime::ZERO,
+            SimTime(10_000_000),
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,26 @@
+//! # qosc-workloads — populations, applications and scenarios
+//!
+//! Everything the evaluation suite needs to synthesise the paper's world:
+//!
+//! * [`PopulationConfig`] — heterogeneous device mixes (§2's phones, PDAs,
+//!   laptops, optional fixed servers) with capacity jitter.
+//! * [`AppTemplate`] — the multimedia applications the paper motivates
+//!   (surveillance §3.1, video conferencing §1, voice, transcoding §7),
+//!   each with spec, preference-ordered request, demand model and payload
+//!   distribution.
+//! * [`PoissonArrivals`] — dynamic request arrivals (§5).
+//! * [`Scenario`] / [`ScenarioConfig`] — assembled DES runs: population +
+//!   geometry + mobility + engines, ready for `submit` and `run_until`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod apps;
+mod arrivals;
+mod population;
+mod scenario;
+
+pub use apps::{transcode_demand_model, AppTemplate};
+pub use arrivals::PoissonArrivals;
+pub use population::PopulationConfig;
+pub use scenario::{pedestrian, Scenario, ScenarioConfig};

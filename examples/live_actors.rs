@@ -1,0 +1,191 @@
+//! The negotiation protocol on the *live* threaded transport.
+//!
+//! The engines are sans-IO; here each node is an OS-thread actor
+//! (`qosc-actors`) with real wall-clock timers, and the process-wide
+//! [`Directory`] plays the radio's role. The same code drives the
+//! deterministic simulator in every experiment — this example proves the
+//! protocol also runs concurrently in real time.
+//!
+//! ```text
+//! cargo run -p qosc-bench --example live_actors
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+
+use qosc_actors::{Actor, ActorCtx, ActorSystem, Directory};
+use qosc_core::{
+    decode_timer, Action, Msg, NegoEvent, OrganizerConfig, OrganizerEngine, Pid, ProviderConfig,
+    ProviderEngine, TimerKind,
+};
+use qosc_netsim::SimTime;
+use qosc_resources::{av_demand_model, ResourceVector};
+use qosc_spec::{catalog, ServiceDef, TaskDef};
+
+/// Messages a live node actor consumes (Clone: broadcasts fan copies).
+#[derive(Clone)]
+enum LiveMsg {
+    /// A protocol message from a peer.
+    Proto { from: Pid, msg: Msg },
+    /// A timer armed by one of the engines fired.
+    Timer(u64),
+    /// Host bootstrap: originate a service negotiation.
+    Start(ServiceDef),
+}
+
+struct LiveNode {
+    id: Pid,
+    organizer: OrganizerEngine,
+    provider: ProviderEngine,
+    dir: Directory<LiveMsg>,
+    epoch: Instant,
+    events: Sender<(Pid, NegoEvent)>,
+}
+
+impl LiveNode {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn apply(&mut self, ctx: &ActorCtx<LiveMsg>, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Broadcast(msg) => {
+                    // Broadcasts do not echo to the sender; the paper lets
+                    // the organizer's node compete, so feed it directly.
+                    if matches!(msg, Msg::CallForProposals { .. }) {
+                        let local = self.provider.on_message(self.now(), self.id, &msg);
+                        self.apply(ctx, local);
+                    }
+                    self.dir.broadcast(
+                        self.id,
+                        &LiveMsg::Proto {
+                            from: self.id,
+                            msg,
+                        },
+                    );
+                }
+                Action::Send { to, msg } => {
+                    self.dir.send(self.id, to, LiveMsg::Proto { from: self.id, msg });
+                }
+                Action::Timer { delay, token } => {
+                    let addr = ctx.myself();
+                    let d = Duration::from_micros(delay.as_micros());
+                    std::thread::spawn(move || {
+                        std::thread::sleep(d);
+                        let _ = addr.send(LiveMsg::Timer(token));
+                    });
+                }
+                Action::Event(e) => {
+                    let _ = self.events.send((self.id, e));
+                }
+            }
+        }
+    }
+}
+
+impl Actor for LiveNode {
+    type Msg = LiveMsg;
+
+    fn handle(&mut self, ctx: &ActorCtx<LiveMsg>, msg: LiveMsg) {
+        let now = self.now();
+        match msg {
+            LiveMsg::Start(service) => match self.organizer.start_service(now, &service) {
+                Ok((_, actions)) => self.apply(ctx, actions),
+                Err(e) => eprintln!("node {}: bad service: {e}", self.id),
+            },
+            LiveMsg::Proto { from, msg } => {
+                let actions = match &msg {
+                    Msg::CallForProposals { .. } | Msg::Award { .. } | Msg::Release { .. } => {
+                        self.provider.on_message(now, from, &msg)
+                    }
+                    _ => self.organizer.on_message(now, from, &msg),
+                };
+                self.apply(ctx, actions);
+            }
+            LiveMsg::Timer(token) => {
+                let Some((nego, kind)) = decode_timer(token) else {
+                    return;
+                };
+                let actions = match kind {
+                    TimerKind::ProposalDeadline
+                    | TimerKind::AwardDeadline
+                    | TimerKind::HeartbeatCheck => self.organizer.on_timer(now, nego, kind),
+                    TimerKind::HeartbeatSend | TimerKind::HoldExpiry => {
+                        self.provider.on_timer(now, nego, kind)
+                    }
+                    TimerKind::Kickoff | TimerKind::Dissolve => Vec::new(),
+                };
+                self.apply(ctx, actions);
+            }
+        }
+    }
+}
+
+fn main() {
+    let spec = catalog::av_spec();
+    let mut system = ActorSystem::new();
+    let dir: Directory<LiveMsg> = Directory::new();
+    let (events_tx, events_rx) = unbounded();
+    let epoch = Instant::now();
+
+    let cpus = [15.0, 60.0, 150.0, 400.0];
+    for id in 0..4u32 {
+        let mut provider = ProviderEngine::new(
+            id,
+            ResourceVector::new(cpus[id as usize], 256.0, 4000.0, 40.0, 4000.0),
+            ProviderConfig::default(),
+        );
+        provider.register_demand_model(spec.name(), Arc::new(av_demand_model(&spec)));
+        let node = LiveNode {
+            id,
+            organizer: OrganizerEngine::new(id, OrganizerConfig::default()),
+            provider,
+            dir: dir.clone(),
+            epoch,
+            events: events_tx.clone(),
+        };
+        let addr = system.spawn(format!("node-{id}"), node);
+        dir.register(id, addr);
+    }
+
+    // Node 0 originates a two-camera surveillance service.
+    let service = ServiceDef::new(
+        "live-demo",
+        (0..2)
+            .map(|i| TaskDef {
+                name: format!("camera-{i}"),
+                spec: spec.clone(),
+                request: catalog::surveillance_request(),
+                input_bytes: 80_000,
+                output_bytes: 8_000,
+            })
+            .collect(),
+    );
+    dir.send(0, 0, LiveMsg::Start(service));
+
+    // Wait (wall clock!) for the coalition to form.
+    match events_rx.recv_timeout(Duration::from_secs(10)) {
+        Ok((node, NegoEvent::Formed { metrics, .. })) => {
+            println!("coalition formed (organizer node {node}):");
+            for (task, o) in &metrics.outcomes {
+                println!(
+                    "  {task} -> node {} at distance {:.4}",
+                    o.node, o.distance
+                );
+            }
+            println!(
+                "  formation took {:.0} ms of real time",
+                metrics
+                    .formation_latency()
+                    .map(|l| l.as_secs_f64() * 1000.0)
+                    .unwrap_or(0.0)
+            );
+        }
+        Ok((node, other)) => println!("node {node} reported: {other:?}"),
+        Err(_) => eprintln!("no coalition within 10 s — check thread scheduling"),
+    }
+    system.shutdown();
+}

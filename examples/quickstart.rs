@@ -1,0 +1,87 @@
+//! Quickstart: three wireless nodes negotiate a one-task coalition.
+//!
+//! ```text
+//! cargo run -p qosc-bench --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use qosc_core::{
+    single_organizer_scenario, NegoEvent, OrganizerConfig, ProviderConfig, ProviderEngine,
+};
+use qosc_netsim::{Mobility, Point, SimConfig, SimDuration, SimTime, Simulator};
+use qosc_resources::{av_demand_model, ResourceVector};
+use qosc_spec::{catalog, ServiceDef, TaskDef};
+
+fn main() {
+    // A 3-node cluster, everyone in radio range.
+    let mut sim = Simulator::new(SimConfig::default());
+    for i in 0..3 {
+        sim.add_node(Point::new(10.0 * i as f64, 0.0), Mobility::Static);
+    }
+
+    // Heterogeneous providers: node 0 (the requester) is weak, its
+    // neighbours are progressively stronger.
+    let spec = catalog::av_spec();
+    let providers = (0..3u32)
+        .map(|i| {
+            let cpu = [12.0, 120.0, 400.0][i as usize];
+            let mut p = ProviderEngine::new(
+                i,
+                ResourceVector::new(cpu, 256.0, 5000.0, 40.0, 4000.0),
+                ProviderConfig::default(),
+            );
+            p.register_demand_model(spec.name(), Arc::new(av_demand_model(&spec)));
+            p
+        })
+        .collect();
+
+    // The §3.1 remote-surveillance request as a one-task service.
+    let service = ServiceDef::new(
+        "quickstart",
+        vec![TaskDef {
+            name: "camera".into(),
+            spec: spec.clone(),
+            request: catalog::surveillance_request(),
+            input_bytes: 50_000,
+            output_bytes: 5_000,
+        }],
+    );
+
+    let (mut sim, mut host) = single_organizer_scenario(
+        sim,
+        OrganizerConfig::default(),
+        providers,
+        service,
+        SimDuration::millis(1),
+    );
+    sim.run_until(&mut host, SimTime(5_000_000));
+
+    for e in &host.events {
+        match &e.event {
+            NegoEvent::Formed { nego, metrics } => {
+                println!("coalition {nego} formed at t={}", e.at);
+                for (task, o) in &metrics.outcomes {
+                    println!(
+                        "  {task} -> node {} (distance {:.4}, comm {:.3}s)",
+                        o.node, o.distance, o.comm_cost
+                    );
+                }
+                println!(
+                    "  members: {}, formation latency: {}",
+                    metrics.distinct_members(),
+                    metrics
+                        .formation_latency()
+                        .map(|l| l.to_string())
+                        .unwrap_or_default()
+                );
+            }
+            other => println!("event: {other:?}"),
+        }
+    }
+    println!(
+        "network: {} messages, mean latency {}",
+        sim.stats().messages_sent(),
+        sim.stats().mean_latency()
+    );
+}

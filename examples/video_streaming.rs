@@ -1,0 +1,53 @@
+//! Video streaming under load: coalition vs going it alone.
+//!
+//! §1's motivating scenario — "a mobile client with limited CPU and memory
+//! capacity ... can divide the computational intensive processing into
+//! tasks and spread it among different neighbors". We sweep the number of
+//! concurrent streams a weak requester tries to serve and compare the
+//! coalition's outcome against local-only execution.
+//!
+//! ```text
+//! cargo run -p qosc-bench --example video_streaming --release
+//! ```
+
+use qosc_baselines::{protocol_emulation, single_node, ProposalStrategy};
+use qosc_bench::instances::population_instance;
+use qosc_core::TieBreak;
+use qosc_workloads::{AppTemplate, PopulationConfig};
+
+fn main() {
+    println!("streams | policy     | accepted | mean distance | members");
+    println!("--------|------------|----------|---------------|--------");
+    for streams in [1usize, 2, 4, 6, 8] {
+        let inst = population_instance(
+            &PopulationConfig::constrained(),
+            8,
+            AppTemplate::VideoConference,
+            streams,
+            0xE0 + streams as u64,
+        );
+        let coalition = qosc_baselines::protocol_emulation_with(
+            &inst,
+            &TieBreak::default(),
+            ProposalStrategy::Sequential,
+        );
+        let local = single_node(&inst);
+        let joint = protocol_emulation(&inst, &TieBreak::default());
+        for (name, a) in [
+            ("coalition", &coalition),
+            ("joint-cfp", &joint),
+            ("local-only", &local),
+        ] {
+            println!(
+                "{streams:>7} | {name:<10} | {:>8.2} | {:>13.4} | {:>7}",
+                a.acceptance_ratio(streams),
+                a.mean_distance(),
+                a.distinct_members()
+            );
+        }
+    }
+    println!(
+        "\ncoalitions keep accepting streams (and at better quality) after \
+         the local node saturates — the paper's §1 claim."
+    );
+}

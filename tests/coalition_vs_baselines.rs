@@ -1,0 +1,117 @@
+//! Cross-policy ordering properties on identical snapshots: the paper's
+//! comparative claims as assertions.
+
+use qosc_baselines::{
+    builders::{conference_instance, small_instance},
+    exhaustive_optimal, greedy_least_loaded, protocol_emulation, protocol_emulation_with,
+    random_alloc, single_node, ProposalStrategy,
+};
+use qosc_core::TieBreak;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn coalition_never_loses_to_single_node_on_distance() {
+    // §1/§4: a weak requester with strong neighbours must be served
+    // strictly closer to preferences by the coalition.
+    for cpus in [
+        vec![20.0, 400.0, 300.0],
+        vec![30.0, 100.0, 100.0, 100.0],
+        vec![15.0, 80.0],
+    ] {
+        let inst = conference_instance(&cpus, 2);
+        let coalition = protocol_emulation(&inst, &TieBreak::default());
+        let single = single_node(&inst);
+        // The coalition always serves at least as many tasks…
+        assert!(coalition.placements.len() >= single.placements.len());
+        // …and when both place the same set, at no worse total distance.
+        // (A shedding single node has a vacuously small total distance, so
+        // totals are only comparable at equal acceptance.)
+        if coalition.placements.len() == single.placements.len() {
+            assert!(
+                coalition.total_distance() <= single.total_distance() + 1e-9,
+                "coalition {:.4} vs single {:.4} on {cpus:?}",
+                coalition.total_distance(),
+                single.total_distance()
+            );
+        }
+    }
+}
+
+#[test]
+fn optimal_is_a_lower_bound_for_every_policy() {
+    for seed in 0..5u64 {
+        let cpus: Vec<f64> = (0..4).map(|i| 30.0 + 37.0 * ((seed + i) % 5) as f64).collect();
+        let inst = conference_instance(&cpus, 3);
+        let opt = exhaustive_optimal(&inst, 10_000_000).unwrap();
+        if !opt.complete() {
+            continue;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (name, alloc) in [
+            ("joint", protocol_emulation(&inst, &TieBreak::default())),
+            (
+                "sequential",
+                protocol_emulation_with(&inst, &TieBreak::default(), ProposalStrategy::Sequential),
+            ),
+            ("greedy", greedy_least_loaded(&inst)),
+            ("random", random_alloc(&inst, &mut rng)),
+        ] {
+            if alloc.complete() {
+                assert!(
+                    alloc.total_distance() >= opt.total_distance() - 1e-9,
+                    "{name} beat the optimum?! {:.4} < {:.4}",
+                    alloc.total_distance(),
+                    opt.total_distance()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sequential_pricing_weakly_dominates_joint() {
+    // Joint offers assume the node wins everything announced; sequential
+    // offers cannot do worse in total distance on these instances.
+    let mut seq_wins = 0;
+    for seed in 0..8u64 {
+        let cpus: Vec<f64> = (0..4).map(|i| 25.0 + 31.0 * ((seed + i) % 4) as f64).collect();
+        let inst = conference_instance(&cpus, 3);
+        let joint = protocol_emulation(&inst, &TieBreak::default());
+        let seq =
+            protocol_emulation_with(&inst, &TieBreak::default(), ProposalStrategy::Sequential);
+        assert!(seq.placements.len() >= joint.placements.len());
+        if seq.complete() && joint.complete() {
+            if seq.total_distance() < joint.total_distance() - 1e-9 {
+                seq_wins += 1;
+            }
+        }
+    }
+    assert!(seq_wins > 0, "sequential should strictly win somewhere");
+}
+
+#[test]
+fn under_light_load_everything_stays_local() {
+    // With a rich requester there is no reason to ship tasks anywhere.
+    let inst = small_instance(&[1000.0, 500.0, 500.0], 3);
+    let a = protocol_emulation(&inst, &TieBreak::default());
+    assert!(a.complete());
+    assert_eq!(a.distinct_members(), 1);
+    assert_eq!(a.total_comm_cost(), 0.0);
+    assert_eq!(a.total_distance(), 0.0);
+}
+
+#[test]
+fn acceptance_is_monotone_in_capacity() {
+    // Doubling every node's CPU can only place more (or equally many)
+    // tasks under every policy.
+    let base: Vec<f64> = vec![8.0, 10.0, 12.0];
+    let doubled: Vec<f64> = base.iter().map(|c| c * 2.0).collect();
+    for policy in [protocol_emulation, |i: &qosc_baselines::Instance, t: &TieBreak| {
+        protocol_emulation_with(i, t, ProposalStrategy::Sequential)
+    }] {
+        let small = policy(&small_instance(&base, 4), &TieBreak::default());
+        let big = policy(&small_instance(&doubled, 4), &TieBreak::default());
+        assert!(big.placements.len() >= small.placements.len());
+    }
+}

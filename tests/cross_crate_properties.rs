@@ -1,0 +1,123 @@
+//! Property-based tests spanning the whole stack: random instances,
+//! random preferences, random capacities — the invariants that must hold
+//! regardless.
+
+use proptest::prelude::*;
+
+use qosc_baselines::{
+    builders::small_instance, exhaustive_optimal, protocol_emulation, protocol_emulation_with,
+    single_node, ProposalStrategy,
+};
+use qosc_core::{
+    formulate, Evaluator, LinearPenalty, TaskInput, TieBreak,
+};
+use qosc_resources::{
+    av_demand_model, AdmissionControl, ResourceKind, ResourceVector, SchedulingPolicy,
+};
+use qosc_spec::catalog;
+
+fn cpu_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(5.0f64..300.0, 2..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the capacities, a formulated configuration is schedulable
+    /// and within the request's ladders, and its reward never exceeds the
+    /// attribute count.
+    #[test]
+    fn formulation_outcomes_are_always_feasible(cpu in 6.0f64..500.0, tasks in 1usize..4) {
+        let spec = catalog::av_spec();
+        let req = catalog::surveillance_request().resolve(&spec).unwrap();
+        let model = av_demand_model(&spec);
+        let admission = AdmissionControl::new(
+            SchedulingPolicy::Edf,
+            ResourceVector::new(cpu, 512.0, 10_000.0, 60.0, 10_000.0),
+        );
+        let inputs: Vec<TaskInput<'_>> = (0..tasks)
+            .map(|_| TaskInput { spec: &spec, request: &req, demand: &model })
+            .collect();
+        if let Ok(out) = formulate(&inputs, &admission, &LinearPenalty::default()) {
+            prop_assert!(admission.schedulable(&out.demands));
+            let ladders = req.ladder_lengths();
+            for lv in &out.levels {
+                for (l, len) in lv.iter().zip(ladders.iter()) {
+                    prop_assert!(l < len);
+                }
+            }
+            prop_assert!(out.reward <= (tasks * req.attr_count()) as f64 + 1e-9);
+        }
+    }
+
+    /// The evaluator is zero exactly at the preferred configuration and
+    /// positive elsewhere (absolute mode).
+    #[test]
+    fn distance_is_a_premetric_over_ladders(
+        l0 in 0usize..10, l1 in 0usize..2,
+    ) {
+        let spec = catalog::av_spec();
+        let req = catalog::surveillance_request().resolve(&spec).unwrap();
+        let ev = Evaluator::default();
+        let d = ev.distance_of_levels(&spec, &req, &[l0, l1, 0, 0]).unwrap();
+        if l0 == 0 && l1 == 0 {
+            prop_assert_eq!(d, 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+        // Monotone in each coordinate.
+        if l0 + 1 < 10 {
+            let d2 = ev.distance_of_levels(&spec, &req, &[l0 + 1, l1, 0, 0]).unwrap();
+            prop_assert!(d2 >= d);
+        }
+    }
+
+    /// Allocation policies never invent placements: every placed node is a
+    /// real node, every distance finite and non-negative, every placed
+    /// task's demand fits the node's capacity in aggregate.
+    #[test]
+    fn allocations_are_structurally_sound(cpus in cpu_vec(), tasks in 1usize..5) {
+        let inst = small_instance(&cpus, tasks);
+        for alloc in [
+            protocol_emulation(&inst, &TieBreak::default()),
+            protocol_emulation_with(&inst, &TieBreak::default(), ProposalStrategy::Sequential),
+            single_node(&inst),
+        ] {
+            let mut per_node: std::collections::BTreeMap<u32, ResourceVector> =
+                Default::default();
+            for (task, p) in &alloc.placements {
+                prop_assert!((p.node as usize) < cpus.len());
+                prop_assert!(p.distance.is_finite() && p.distance >= 0.0);
+                prop_assert!(p.comm_cost.is_finite() && p.comm_cost >= 0.0);
+                prop_assert!(inst.tasks.iter().any(|t| t.id == *task));
+                *per_node.entry(p.node).or_default() += p.demand;
+            }
+            for (node, total) in per_node {
+                let cap = inst.nodes[node as usize].capacity;
+                prop_assert!(
+                    total.get(ResourceKind::Cpu) <= cap.get(ResourceKind::Cpu) + 1e-6,
+                    "node {node} overcommitted"
+                );
+            }
+            // No task both placed and unassigned, and the counts add up.
+            for t in &alloc.unassigned {
+                prop_assert!(!alloc.placements.contains_key(t));
+            }
+            prop_assert_eq!(alloc.placements.len() + alloc.unassigned.len(), tasks);
+        }
+    }
+
+    /// On enumerable instances the exhaustive optimum lower-bounds the
+    /// protocol whenever both are complete.
+    #[test]
+    fn optimum_is_lower_bound(cpus in proptest::collection::vec(10.0f64..120.0, 2..4)) {
+        let inst = small_instance(&cpus, 2);
+        let opt = exhaustive_optimal(&inst, 1_000_000).unwrap();
+        let proto = protocol_emulation(&inst, &TieBreak::default());
+        if opt.complete() && proto.complete() {
+            prop_assert!(proto.total_distance() >= opt.total_distance() - 1e-9);
+        }
+        // And the optimum never places fewer tasks than the protocol.
+        prop_assert!(opt.placements.len() >= proto.placements.len());
+    }
+}

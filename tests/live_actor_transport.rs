@@ -1,0 +1,212 @@
+//! The same negotiation engines on the live threaded actor transport:
+//! real concurrency, wall-clock timers, process-local "radio".
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use qosc_actors::{Actor, ActorCtx, ActorSystem, Directory};
+use qosc_core::{
+    decode_timer, Action, Msg, NegoEvent, OrganizerConfig, OrganizerEngine, Pid, ProviderConfig,
+    ProviderEngine, TimerKind,
+};
+use qosc_netsim::SimTime;
+use qosc_resources::{av_demand_model, ResourceVector};
+use qosc_spec::{catalog, ServiceDef, TaskDef, TaskId};
+
+#[derive(Clone)]
+enum LiveMsg {
+    Proto { from: Pid, msg: Msg },
+    Timer(u64),
+    Start(ServiceDef),
+}
+
+struct LiveNode {
+    id: Pid,
+    organizer: OrganizerEngine,
+    provider: ProviderEngine,
+    dir: Directory<LiveMsg>,
+    epoch: Instant,
+    events: Sender<(Pid, NegoEvent)>,
+}
+
+impl LiveNode {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn apply(&mut self, ctx: &ActorCtx<LiveMsg>, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Broadcast(msg) => {
+                    if matches!(msg, Msg::CallForProposals { .. }) {
+                        let local = self.provider.on_message(self.now(), self.id, &msg);
+                        self.apply(ctx, local);
+                    }
+                    self.dir.broadcast(
+                        self.id,
+                        &LiveMsg::Proto {
+                            from: self.id,
+                            msg,
+                        },
+                    );
+                }
+                Action::Send { to, msg } => {
+                    self.dir
+                        .send(self.id, to, LiveMsg::Proto { from: self.id, msg });
+                }
+                Action::Timer { delay, token } => {
+                    let addr = ctx.myself();
+                    let d = Duration::from_micros(delay.as_micros());
+                    std::thread::spawn(move || {
+                        std::thread::sleep(d);
+                        let _ = addr.send(LiveMsg::Timer(token));
+                    });
+                }
+                Action::Event(e) => {
+                    let _ = self.events.send((self.id, e));
+                }
+            }
+        }
+    }
+}
+
+impl Actor for LiveNode {
+    type Msg = LiveMsg;
+    fn handle(&mut self, ctx: &ActorCtx<LiveMsg>, msg: LiveMsg) {
+        let now = self.now();
+        match msg {
+            LiveMsg::Start(service) => {
+                let (_, actions) = self
+                    .organizer
+                    .start_service(now, &service)
+                    .expect("valid service");
+                self.apply(ctx, actions);
+            }
+            LiveMsg::Proto { from, msg } => {
+                let actions = match &msg {
+                    Msg::CallForProposals { .. } | Msg::Award { .. } | Msg::Release { .. } => {
+                        self.provider.on_message(now, from, &msg)
+                    }
+                    _ => self.organizer.on_message(now, from, &msg),
+                };
+                self.apply(ctx, actions);
+            }
+            LiveMsg::Timer(token) => {
+                let Some((nego, kind)) = decode_timer(token) else {
+                    return;
+                };
+                let actions = match kind {
+                    TimerKind::ProposalDeadline
+                    | TimerKind::AwardDeadline
+                    | TimerKind::HeartbeatCheck => self.organizer.on_timer(now, nego, kind),
+                    TimerKind::HeartbeatSend | TimerKind::HoldExpiry => {
+                        self.provider.on_timer(now, nego, kind)
+                    }
+                    _ => Vec::new(),
+                };
+                self.apply(ctx, actions);
+            }
+        }
+    }
+}
+
+fn spawn_cluster(
+    cpus: &[f64],
+) -> (ActorSystem, Directory<LiveMsg>, Receiver<(Pid, NegoEvent)>) {
+    let spec = catalog::av_spec();
+    let mut system = ActorSystem::new();
+    let dir: Directory<LiveMsg> = Directory::new();
+    let (tx, rx) = unbounded();
+    let epoch = Instant::now();
+    for (id, cpu) in cpus.iter().enumerate() {
+        let id = id as u32;
+        let mut provider = ProviderEngine::new(
+            id,
+            ResourceVector::new(*cpu, 256.0, 4000.0, 40.0, 4000.0),
+            ProviderConfig::default(),
+        );
+        provider.register_demand_model(spec.name(), Arc::new(av_demand_model(&spec)));
+        let node = LiveNode {
+            id,
+            organizer: OrganizerEngine::new(id, OrganizerConfig::default()),
+            provider,
+            dir: dir.clone(),
+            epoch,
+            events: tx.clone(),
+        };
+        let addr = system.spawn(format!("node-{id}"), node);
+        dir.register(id, addr);
+    }
+    (system, dir, rx)
+}
+
+fn surveillance_service(tasks: usize) -> ServiceDef {
+    ServiceDef::new(
+        "svc",
+        (0..tasks)
+            .map(|i| TaskDef {
+                name: format!("t{i}"),
+                spec: catalog::av_spec(),
+                request: catalog::surveillance_request(),
+                input_bytes: 50_000,
+                output_bytes: 5_000,
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn live_negotiation_forms_a_coalition() {
+    let (mut system, dir, rx) = spawn_cluster(&[12.0, 60.0, 500.0]);
+    dir.send(0, 0, LiveMsg::Start(surveillance_service(1)));
+    let deadline = Duration::from_secs(15);
+    let mut formed = None;
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok((_, NegoEvent::Formed { metrics, .. })) => {
+                formed = Some(metrics);
+                break;
+            }
+            Ok(_) => {}
+            Err(_) => {}
+        }
+    }
+    let metrics = formed.expect("live coalition should form within 15 s");
+    // Node 0 (12 MIPS) cannot serve preferred quality (~18.25 MIPS); one
+    // of the capable remote nodes must win at distance 0 (they tie, and
+    // the lowest id is selected).
+    let winner = metrics.outcomes[&TaskId(0)].node;
+    assert!(winner == 1 || winner == 2, "winner {winner}");
+    assert_eq!(metrics.outcomes[&TaskId(0)].distance, 0.0);
+    system.shutdown();
+}
+
+#[test]
+fn live_partial_connectivity_limits_candidates() {
+    let (mut system, dir, rx) = spawn_cluster(&[12.0, 60.0, 500.0]);
+    // Node 0 can only reach node 1 (and itself — local proposals travel
+    // the self-send path): the strong node 2 is "out of range".
+    dir.set_reachable(0, vec![0, 1]);
+    dir.set_reachable(1, vec![0, 1]);
+    dir.set_reachable(2, vec![2]);
+    dir.send(0, 0, LiveMsg::Start(surveillance_service(1)));
+    let deadline = Duration::from_secs(15);
+    let mut metrics = None;
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        match rx.recv_timeout(Duration::from_millis(200)) {
+            Ok((_, NegoEvent::Formed { metrics: m, .. })) => {
+                metrics = Some(m);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let m = metrics.expect("coalition should still form via node 1");
+    let winner = m.outcomes[&TaskId(0)].node;
+    assert_ne!(winner, 2, "unreachable node must not win");
+    system.shutdown();
+}

@@ -1,0 +1,140 @@
+//! Coalition operation under churn: member failure detection, §4's
+//! "coalition reconfiguration due to partial failures", and formation in
+//! mobile topologies.
+
+use qosc_core::NegoEvent;
+use qosc_netsim::{Area, NodeId, RadioModel, SimDuration, SimTime};
+use qosc_workloads::{pedestrian, AppTemplate, PopulationConfig, Scenario, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scenario(seed: u64, speed: Option<f64>, range: f64) -> Scenario {
+    Scenario::build(&ScenarioConfig {
+        nodes: 10,
+        area: Area::new(100.0, 100.0),
+        radio: RadioModel {
+            range_m: range,
+            ..Default::default()
+        },
+        mobility: speed.map(pedestrian),
+        population: PopulationConfig::pure_adhoc(),
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn member_failure_triggers_reconfiguration_and_recovery() {
+    let mut s = scenario(21, None, 200.0); // static, fully connected
+    let mut rng = StdRng::seed_from_u64(4);
+    let svc = AppTemplate::Surveillance.service("svc", 2, &mut rng);
+    s.submit(0, svc, SimTime(1_000));
+    s.run_until(SimTime(2_000_000));
+    let first_formed = s
+        .host
+        .events
+        .iter()
+        .find_map(|e| match &e.event {
+            NegoEvent::Formed { metrics, .. } => Some(metrics.clone()),
+            _ => None,
+        })
+        .expect("initial formation");
+    // Kill one winning member (pick a remote one if any; else skip).
+    let victim = first_formed
+        .outcomes
+        .values()
+        .map(|o| o.node)
+        .find(|n| *n != 0);
+    let Some(victim) = victim else {
+        // All local: force a remote by killing nothing; scenario-specific
+        // seeds make this rare. Nothing to test then.
+        return;
+    };
+    s.sim.schedule_down(NodeId(victim), SimDuration::millis(100));
+    s.run_until(SimTime(30_000_000));
+    assert!(
+        s.host
+            .events
+            .iter()
+            .any(|e| matches!(e.event, NegoEvent::MemberFailed { node, .. } if node == victim)),
+        "failure must be detected: {:?}",
+        s.host.events
+    );
+    // After reconfiguration the victim's tasks live somewhere else.
+    let last_metrics = s
+        .host
+        .events
+        .iter()
+        .rev()
+        .find_map(|e| match &e.event {
+            NegoEvent::Formed { metrics, .. }
+            | NegoEvent::FormationIncomplete { metrics, .. } => Some(metrics.clone()),
+            _ => None,
+        })
+        .expect("a settling event after reconfiguration");
+    for o in last_metrics.outcomes.values() {
+        assert_ne!(o.node, victim, "no task may remain on the dead node");
+    }
+    assert!(last_metrics.reconfigurations >= 1);
+}
+
+#[test]
+fn formation_succeeds_across_mobility_levels() {
+    for speed in [0.0, 5.0, 15.0] {
+        let mut formed_any = false;
+        for seed in 0..3u64 {
+            let mut s = scenario(
+                100 + seed,
+                if speed > 0.0 { Some(speed) } else { None },
+                60.0,
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            let svc = AppTemplate::Surveillance.service("svc", 2, &mut rng);
+            s.submit(0, svc, SimTime(1_000));
+            s.run_until(SimTime(20_000_000));
+            formed_any |= s
+                .host
+                .events
+                .iter()
+                .any(|e| matches!(e.event, NegoEvent::Formed { .. }));
+        }
+        assert!(
+            formed_any,
+            "formation should succeed at least once at {speed} m/s"
+        );
+    }
+}
+
+#[test]
+fn sparse_disconnected_topology_fails_gracefully() {
+    // A tiny radio range on a big field: the organizer hears nobody.
+    let mut s = Scenario::build(&ScenarioConfig {
+        nodes: 5,
+        area: Area::new(2_000.0, 2_000.0),
+        radio: RadioModel {
+            range_m: 5.0,
+            ..Default::default()
+        },
+        population: PopulationConfig {
+            // Phones only: the requester cannot even serve itself at an
+            // acceptable level for the demanding conference request.
+            class_weights: [1.0, 0.0, 0.0, 0.0],
+            jitter: 0.0,
+        },
+        seed: 7,
+        ..Default::default()
+    });
+    let mut rng = StdRng::seed_from_u64(7);
+    let svc = AppTemplate::VideoConference.service("svc", 3, &mut rng);
+    s.submit(0, svc, SimTime(1_000));
+    s.run_until(SimTime(30_000_000));
+    // The negotiation must settle (incomplete), never hang or panic.
+    assert!(
+        s.host
+            .events
+            .iter()
+            .any(|e| matches!(e.event, NegoEvent::FormationIncomplete { .. })),
+        "events: {:?}",
+        s.host.events
+    );
+}

@@ -1,0 +1,112 @@
+//! Scenario-level behaviour: dynamic Poisson arrivals, multiple
+//! concurrent negotiations from different organizers, determinism.
+
+use qosc_core::NegoEvent;
+use qosc_netsim::{Area, SimTime};
+use qosc_workloads::{
+    AppTemplate, PoissonArrivals, PopulationConfig, Scenario, ScenarioConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dense(seed: u64, nodes: usize) -> Scenario {
+    Scenario::build(&ScenarioConfig {
+        nodes,
+        area: Area::new(50.0, 50.0),
+        population: PopulationConfig::default(),
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn poisson_stream_of_services_is_processed() {
+    let mut s = dense(31, 8);
+    let mut rng = StdRng::seed_from_u64(31);
+    let arrivals = PoissonArrivals::new(0.5); // one service every ~2 s
+    let times = arrivals.sample_until(SimTime(1_000), SimTime(20_000_000), &mut rng);
+    assert!(!times.is_empty());
+    let n = times.len();
+    for (i, t) in times.into_iter().enumerate() {
+        let template = AppTemplate::ALL[i % AppTemplate::ALL.len()];
+        // Transcode uses a different spec — still registered everywhere.
+        let svc = template.service(format!("svc-{i}"), 1 + i % 2, &mut rng);
+        let organizer = (i % 4) as u32; // rotate originating node
+        s.submit(organizer, svc, t);
+    }
+    s.run_until(SimTime(60_000_000));
+    let settled = s
+        .host
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.event,
+                NegoEvent::Formed { .. } | NegoEvent::FormationIncomplete { .. }
+            )
+        })
+        .count();
+    assert_eq!(settled, n, "every negotiation must settle: {:?}", s.host.events);
+}
+
+#[test]
+fn concurrent_negotiations_do_not_overcommit_any_node() {
+    let mut s = dense(77, 6);
+    let mut rng = StdRng::seed_from_u64(77);
+    // Two organizers fire at the same instant.
+    for org in [0u32, 1u32] {
+        let svc = AppTemplate::Surveillance.service(format!("svc-{org}"), 2, &mut rng);
+        s.submit(org, svc, SimTime(1_000));
+    }
+    s.run_until(SimTime(30_000_000));
+    // Ledger invariant on every node: committed ≤ capacity per kind.
+    for i in 0..6u32 {
+        let ledger = s.host.provider(i).unwrap().ledger();
+        let available = ledger.available();
+        let capacity = ledger.capacity();
+        for k in qosc_resources::ResourceKind::ALL {
+            assert!(
+                available.get(k) >= -1e-9 && available.get(k) <= capacity.get(k) + 1e-9,
+                "node {i} kind {k}: {} of {}",
+                available.get(k),
+                capacity.get(k)
+            );
+        }
+    }
+    // Both negotiations settled.
+    let settled = s
+        .host
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.event,
+                NegoEvent::Formed { .. } | NegoEvent::FormationIncomplete { .. }
+            )
+        })
+        .count();
+    assert!(settled >= 2);
+}
+
+#[test]
+fn identical_seeds_give_identical_event_logs() {
+    let run = |seed: u64| {
+        let mut s = dense(seed, 8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..4 {
+            let svc = AppTemplate::Surveillance.service(format!("svc-{i}"), 2, &mut rng);
+            s.submit(i as u32 % 3, svc, SimTime(1_000 + i as u64 * 500_000));
+        }
+        s.run_until(SimTime(30_000_000));
+        (
+            s.host.events.len(),
+            s.sim.stats().clone(),
+            s.host
+                .events
+                .iter()
+                .map(|e| (e.at, e.node))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(5), run(5));
+}
