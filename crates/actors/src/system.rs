@@ -47,10 +47,13 @@ impl<M> ActorCtx<M> {
     }
 }
 
+/// Per-actor stop closure kept alongside its join handle.
+type StopFn = Box<dyn Fn() + Send>;
+
 /// Owns every spawned actor thread; joining happens on
 /// [`ActorSystem::shutdown`] (or drop, which also joins).
 pub struct ActorSystem {
-    handles: Vec<(String, JoinHandle<()>, Box<dyn Fn() + Send>)>,
+    handles: Vec<(String, JoinHandle<()>, StopFn)>,
 }
 
 impl ActorSystem {
@@ -161,7 +164,13 @@ mod tests {
     fn actor_processes_messages_in_order() {
         let (tx, rx) = unbounded();
         let mut sys = ActorSystem::new();
-        let addr = sys.spawn("counter", Counter { total: 0, report: tx });
+        let addr = sys.spawn(
+            "counter",
+            Counter {
+                total: 0,
+                report: tx,
+            },
+        );
         for i in 1..=5 {
             addr.send(i);
         }
@@ -174,7 +183,13 @@ mod tests {
     fn shutdown_joins_and_further_sends_fail() {
         let (tx, _rx) = unbounded();
         let mut sys = ActorSystem::new();
-        let addr = sys.spawn("counter", Counter { total: 0, report: tx });
+        let addr = sys.spawn(
+            "counter",
+            Counter {
+                total: 0,
+                report: tx,
+            },
+        );
         sys.shutdown();
         assert!(!addr.send(1));
         assert_eq!(sys.actor_count(), 0);
@@ -219,7 +234,13 @@ mod tests {
     fn send_after_delivers_later() {
         let (tx, rx) = unbounded();
         let mut sys = ActorSystem::new();
-        let addr = sys.spawn("counter", Counter { total: 0, report: tx });
+        let addr = sys.spawn(
+            "counter",
+            Counter {
+                total: 0,
+                report: tx,
+            },
+        );
         sys.send_after(addr, 42, Duration::from_millis(20));
         let v = rx.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(v, 42);

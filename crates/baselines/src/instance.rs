@@ -9,9 +9,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use qosc_core::{EvalConfig, Evaluator, LinearPenalty, RewardModel, TaskInput};
-use qosc_resources::{
-    AdmissionControl, DemandModel, ResourceVector, SchedulingPolicy,
-};
+use qosc_resources::{AdmissionControl, DemandModel, ResourceVector, SchedulingPolicy};
 use qosc_spec::{QosSpec, ResolvedRequest, TaskId};
 
 /// Node id type shared with `qosc-core`.
@@ -175,10 +173,7 @@ pub fn formulate_on_node_with_capacity(
         .collect();
     let admission = AdmissionControl::new(node.policy, *capacity);
     let default_reward = LinearPenalty::default();
-    let reward: &dyn RewardModel = node
-        .reward
-        .as_deref()
-        .unwrap_or(&default_reward);
+    let reward: &dyn RewardModel = node.reward.as_deref().unwrap_or(&default_reward);
     let out = qosc_core::formulate(&inputs, &admission, reward).ok()?;
     let evaluator = Evaluator::new(instance.eval);
     let mut placements = Vec::with_capacity(tasks.len());

@@ -188,11 +188,8 @@ pub fn protocol_emulation_with(
 ) -> Allocation {
     use crate::instance::formulate_on_node_with_capacity;
     let mut remaining: Vec<TaskId> = instance.tasks.iter().map(|t| t.id).collect();
-    let mut capacities: BTreeMap<Pid, ResourceVector> = instance
-        .nodes
-        .iter()
-        .map(|n| (n.id, n.capacity))
-        .collect();
+    let mut capacities: BTreeMap<Pid, ResourceVector> =
+        instance.nodes.iter().map(|n| (n.id, n.capacity)).collect();
     let mut alloc = Allocation::default();
     while !remaining.is_empty() {
         let mut candidates: BTreeMap<TaskId, Vec<Candidate>> = BTreeMap::new();
@@ -323,8 +320,7 @@ pub fn exhaustive_optimal(instance: &Instance, max_states: u64) -> Option<Alloca
                 Some((d, c, m, _)) => {
                     key.0 < d - 1e-12
                         || ((key.0 - d).abs() <= 1e-12
-                            && (key.1 < c - 1e-12
-                                || ((key.1 - c).abs() <= 1e-12 && key.2 < *m)))
+                            && (key.1 < c - 1e-12 || ((key.1 - c).abs() <= 1e-12 && key.2 < *m)))
                 }
             };
             if better {
@@ -370,8 +366,8 @@ fn _assert_send(_: &ResourceVector) {}
 mod tests {
     use super::*;
     use crate::builders::{conference_instance, small_instance};
-    use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn single_node_places_all_when_capacity_allows() {
@@ -426,8 +422,8 @@ mod tests {
     #[test]
     fn random_alloc_is_seed_deterministic_and_complete_when_feasible() {
         let inst = small_instance(&[500.0, 500.0, 500.0], 3);
-        let a1 = random_alloc(&inst, &mut StdRng::seed_from_u64(7));
-        let a2 = random_alloc(&inst, &mut StdRng::seed_from_u64(7));
+        let a1 = random_alloc(&inst, &mut ChaCha8Rng::seed_from_u64(7));
+        let a2 = random_alloc(&inst, &mut ChaCha8Rng::seed_from_u64(7));
         assert_eq!(a1, a2);
         assert!(a1.complete());
     }
@@ -454,7 +450,7 @@ mod tests {
             single_node(&inst),
             greedy_least_loaded(&inst),
             protocol_emulation(&inst, &TieBreak::default()),
-            random_alloc(&inst, &mut StdRng::seed_from_u64(1)),
+            random_alloc(&inst, &mut ChaCha8Rng::seed_from_u64(1)),
             exhaustive_optimal(&inst, 1_000_000).unwrap(),
         ] {
             assert_eq!(a.placements.len(), 0);

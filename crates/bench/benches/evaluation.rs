@@ -40,7 +40,10 @@ fn bench_evaluation(c: &mut Criterion) {
         b.iter(|| {
             let mut ok = 0;
             for o in &batch {
-                if evaluator.admissible(black_box(&request), black_box(o)).is_ok() {
+                if evaluator
+                    .admissible(black_box(&request), black_box(o))
+                    .is_ok()
+                {
                     ok += 1;
                 }
             }

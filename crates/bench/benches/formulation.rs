@@ -20,19 +20,23 @@ fn bench_formulation(c: &mut Criterion) {
             SchedulingPolicy::Edf,
             ResourceVector::new(cpu, 512.0, 10_000.0, 60.0, 10_000.0),
         );
-        g.bench_with_input(BenchmarkId::new("single_task_cpu", cpu as u64), &cpu, |b, _| {
-            b.iter(|| {
-                formulate(
-                    &[TaskInput {
-                        spec: black_box(&spec),
-                        request: black_box(&request),
-                        demand: &model,
-                    }],
-                    &admission,
-                    &reward,
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("single_task_cpu", cpu as u64),
+            &cpu,
+            |b, _| {
+                b.iter(|| {
+                    formulate(
+                        &[TaskInput {
+                            spec: black_box(&spec),
+                            request: black_box(&request),
+                            demand: &model,
+                        }],
+                        &admission,
+                        &reward,
+                    )
+                })
+            },
+        );
     }
     // Joint task-set sweep at fixed capacity.
     for tasks in [1usize, 4, 16] {

@@ -7,8 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qosc_core::NegoEvent;
 use qosc_netsim::{Area, SimTime};
 use qosc_workloads::{AppTemplate, PopulationConfig, Scenario, ScenarioConfig};
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 fn run_negotiation(nodes: usize, seed: u64) -> usize {
     let config = ScenarioConfig {
@@ -19,7 +19,7 @@ fn run_negotiation(nodes: usize, seed: u64) -> usize {
         ..Default::default()
     };
     let mut scenario = Scenario::build(&config);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let svc = AppTemplate::Surveillance.service("svc", 2, &mut rng);
     scenario.submit(0, svc, SimTime(1_000));
     scenario.run_until(SimTime(2_000_000));

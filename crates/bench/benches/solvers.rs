@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use qosc_baselines::{
-    builders::conference_instance, exhaustive_optimal, protocol_emulation,
-    protocol_emulation_with, ProposalStrategy,
+    builders::conference_instance, exhaustive_optimal, protocol_emulation, protocol_emulation_with,
+    ProposalStrategy,
 };
 use qosc_core::TieBreak;
 

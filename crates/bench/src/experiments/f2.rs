@@ -12,8 +12,8 @@ use qosc_baselines::{
 use qosc_core::TieBreak;
 use qosc_resources::ResourceKind;
 use qosc_workloads::{AppTemplate, PopulationConfig};
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::instances::population_instance;
 use crate::table::{f, mean, replicate, Table};
@@ -60,7 +60,7 @@ pub fn run() -> Table {
                 tasks,
                 0xF2_0000 + seed,
             );
-            let mut rng = StdRng::seed_from_u64(0xF2_AAAA + seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(0xF2_AAAA + seed);
             (
                 protocol_emulation(&inst, &TieBreak::default()).acceptance_ratio(tasks),
                 single_node(&inst).acceptance_ratio(tasks),

@@ -12,8 +12,8 @@ use qosc_baselines::{
 };
 use qosc_core::TieBreak;
 use qosc_workloads::{AppTemplate, PopulationConfig};
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::instances::population_instance;
 use crate::table::{f, mean, replicate, Table};
@@ -48,7 +48,7 @@ pub fn run() -> Table {
         let proto_seq =
             protocol_emulation_with(&inst, &TieBreak::default(), ProposalStrategy::Sequential);
         let greedy = greedy_least_loaded(&inst);
-        let mut rng = StdRng::seed_from_u64(0xF4_BBBB + seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(0xF4_BBBB + seed);
         let random = random_alloc(&inst, &mut rng);
         // Gap only meaningful when the optimum placed everything.
         let complete = opt.complete();
@@ -61,19 +61,21 @@ pub fn run() -> Table {
         })
     });
     let opt_d: Vec<f64> = results.iter().map(|r| r[0].0).collect();
-    for (i, name) in ["optimal", "protocol_joint", "protocol_seq", "greedy", "random"]
-        .iter()
-        .enumerate()
+    for (i, name) in [
+        "optimal",
+        "protocol_joint",
+        "protocol_seq",
+        "greedy",
+        "random",
+    ]
+    .iter()
+    .enumerate()
     {
         let ds: Vec<f64> = results.iter().map(|r| r[i].0).collect();
         let cs: Vec<f64> = results.iter().map(|r| r[i].1).collect();
-        let gaps: Vec<f64> = ds
-            .iter()
-            .zip(opt_d.iter())
-            .map(|(d, o)| d - o)
-            .collect();
-        let optimal_rate = gaps.iter().filter(|g| g.abs() < 1e-9).count() as f64
-            / gaps.len().max(1) as f64;
+        let gaps: Vec<f64> = ds.iter().zip(opt_d.iter()).map(|(d, o)| d - o).collect();
+        let optimal_rate =
+            gaps.iter().filter(|g| g.abs() < 1e-9).count() as f64 / gaps.len().max(1) as f64;
         table.row(vec![
             name.to_string(),
             f(mean(&ds)),

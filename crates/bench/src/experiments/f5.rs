@@ -10,8 +10,8 @@
 use qosc_core::NegoEvent;
 use qosc_netsim::{Area, RadioModel, SimTime};
 use qosc_workloads::{pedestrian, AppTemplate, PopulationConfig, Scenario, ScenarioConfig};
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::table::{f, mean, replicate, Table};
 
@@ -50,7 +50,7 @@ pub fn run() -> Table {
                     ..Default::default()
                 };
                 let mut scenario = Scenario::build(&config);
-                let mut rng = StdRng::seed_from_u64(0xF5_CCCC + seed);
+                let mut rng = ChaCha8Rng::seed_from_u64(0xF5_CCCC + seed);
                 let svc = AppTemplate::Surveillance.service("svc", 3, &mut rng);
                 scenario.submit(0, svc, SimTime(10_000));
                 scenario.run_until(SimTime(60_000_000));

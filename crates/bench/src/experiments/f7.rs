@@ -11,8 +11,8 @@
 use qosc_core::NegoEvent;
 use qosc_netsim::{Area, RadioModel, SimTime};
 use qosc_workloads::{AppTemplate, PopulationConfig, Scenario, ScenarioConfig};
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::table::{f, mean, replicate, Table};
 
@@ -46,7 +46,7 @@ pub fn run() -> Table {
                 ..Default::default()
             };
             let mut scenario = Scenario::build(&config);
-            let mut rng = StdRng::seed_from_u64(0xF7_EEEE + seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(0xF7_EEEE + seed);
             let svc = AppTemplate::Surveillance.service("svc", 2, &mut rng);
             scenario.submit(0, svc, SimTime(1_000));
             scenario.run_until(SimTime(30_000_000));
@@ -61,11 +61,7 @@ pub fn run() -> Table {
             }
         });
         let formed: Vec<f64> = results.iter().map(|r| r.0).collect();
-        let dist: Vec<f64> = results
-            .iter()
-            .filter(|r| r.0 > 0.0)
-            .map(|r| r.1)
-            .collect();
+        let dist: Vec<f64> = results.iter().filter(|r| r.0 > 0.0).map(|r| r.1).collect();
         let declines: Vec<f64> = results.iter().map(|r| r.2).collect();
         let msgs: Vec<f64> = results.iter().map(|r| r.3).collect();
         table.row(vec![

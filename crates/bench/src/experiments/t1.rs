@@ -8,8 +8,8 @@
 use qosc_core::NegoEvent;
 use qosc_netsim::{Area, SimTime};
 use qosc_workloads::{AppTemplate, PopulationConfig, Scenario, ScenarioConfig};
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::table::{f, mean, replicate, Table};
 
@@ -30,12 +30,16 @@ pub fn run() -> Table {
     );
     for n in [2usize, 4, 8, 16, 32, 64] {
         let results = replicate(REPS, |seed| {
-            let mut organizer = qosc_core::OrganizerConfig::default();
-            organizer.monitor = false; // formation cost only
-            let mut provider = qosc_core::ProviderConfig::default();
+            let organizer = qosc_core::OrganizerConfig {
+                monitor: false, // formation cost only
+                ..Default::default()
+            };
             // Push heartbeats beyond the window so the counts isolate the
             // formation protocol itself.
-            provider.heartbeat_interval = qosc_netsim::SimDuration::secs(3600);
+            let provider = qosc_core::ProviderConfig {
+                heartbeat_interval: qosc_netsim::SimDuration::secs(3600),
+                ..Default::default()
+            };
             let config = ScenarioConfig {
                 nodes: n,
                 // Dense square so every node hears the CFP.
@@ -47,7 +51,7 @@ pub fn run() -> Table {
                 ..Default::default()
             };
             let mut scenario = Scenario::build(&config);
-            let mut rng = StdRng::seed_from_u64(0x71_DDDD + seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(0x71_DDDD + seed);
             let svc = AppTemplate::Surveillance.service("svc", TASKS, &mut rng);
             scenario.submit(0, svc, SimTime(1_000));
             scenario.run_until(SimTime(30_000_000));

@@ -87,11 +87,8 @@ pub fn run() -> Table {
             base.eval = *eval;
             let alloc = protocol_emulation(&base, &TieBreak::default());
             let rescored = rescore(&base, &alloc);
-            let winners: Vec<(qosc_spec::TaskId, u32)> = alloc
-                .placements
-                .iter()
-                .map(|(t, p)| (*t, p.node))
-                .collect();
+            let winners: Vec<(qosc_spec::TaskId, u32)> =
+                alloc.placements.iter().map(|(t, p)| (*t, p.node)).collect();
             if reference_assignments.is_none() {
                 reference_assignments = Some(winners.clone());
             }

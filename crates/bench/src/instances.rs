@@ -3,15 +3,15 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use qosc_baselines::{Instance, OfflineNode, OfflineTask};
 use qosc_core::{EvalConfig, LinearPenalty, QuadraticPenalty, RewardModel};
-use std::sync::Arc as StdArc;
 use qosc_resources::{ResourceKind, SchedulingPolicy};
 use qosc_spec::TaskId;
 use qosc_workloads::{AppTemplate, PopulationConfig};
+use std::sync::Arc as StdArc;
 
 /// Builds an offline instance: `n_nodes` drawn from `population` (node 0
 /// is the requester), `n_tasks` instances of `template`.
@@ -22,7 +22,7 @@ pub fn population_instance(
     n_tasks: usize,
     seed: u64,
 ) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let profiles = population.sample_many(n_nodes, &mut rng);
     let spec = template.spec();
     let resolved = template

@@ -119,7 +119,9 @@ pub fn stddev(xs: &[f64]) -> f64 {
 /// parallelism noted in DESIGN.md §5.
 pub fn replicate<T: Send>(reps: u64, job: impl Fn(u64) -> T + Sync) -> Vec<T> {
     let mut out: Vec<Option<T>> = (0..reps).map(|_| None).collect();
-    let chunk = out.len().div_ceil(std::thread::available_parallelism().map_or(4, |p| p.get()));
+    let chunk = out
+        .len()
+        .div_ceil(std::thread::available_parallelism().map_or(4, |p| p.get()));
     if chunk == 0 {
         return Vec::new();
     }

@@ -236,7 +236,11 @@ mod tests {
     #[test]
     fn preferred_everywhere_scores_zero() {
         let (spec, req, ev) = setup();
-        let offered: Vec<Value> = req.preferred_choices().into_iter().map(|(_, v)| v).collect();
+        let offered: Vec<Value> = req
+            .preferred_choices()
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
         assert!(ev.admissible(&req, &offered).is_ok());
         assert_eq!(ev.distance(&spec, &req, &offered), 0.0);
     }
@@ -268,7 +272,11 @@ mod tests {
         let spec = catalog::av_spec();
         let req = catalog::video_conference_request().resolve(&spec).unwrap();
         let ev = Evaluator::default();
-        let pref: Vec<Value> = req.preferred_choices().into_iter().map(|(_, v)| v).collect();
+        let pref: Vec<Value> = req
+            .preferred_choices()
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
         // Degrade color_depth one ladder step (24 -> 16).
         let mut video_deg = pref.clone();
         video_deg[1] = Value::Int(16);

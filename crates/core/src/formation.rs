@@ -189,7 +189,11 @@ mod tests {
     #[test]
     fn lowest_distance_wins() {
         let sel = select_winners(
-            &one_task(vec![cand(1, 0.5, 0.0), cand(2, 0.2, 9.0), cand(3, 0.9, 0.0)]),
+            &one_task(vec![
+                cand(1, 0.5, 0.0),
+                cand(2, 0.2, 9.0),
+                cand(3, 0.9, 0.0),
+            ]),
             &TieBreak::default(),
         );
         assert_eq!(sel.assignments[&TaskId(0)], 2);
@@ -258,7 +262,11 @@ mod tests {
     #[test]
     fn final_tie_break_is_lowest_node_id() {
         let sel = select_winners(
-            &one_task(vec![cand(9, 0.5, 1.0), cand(3, 0.5, 1.0), cand(7, 0.5, 1.0)]),
+            &one_task(vec![
+                cand(9, 0.5, 1.0),
+                cand(3, 0.5, 1.0),
+                cand(7, 0.5, 1.0),
+            ]),
             &TieBreak::default(),
         );
         assert_eq!(sel.assignments[&TaskId(0)], 3);

@@ -4,11 +4,10 @@
 //! optimization heuristic" (after Abdelzaher et al. [1]):
 //!
 //! 1. start with the user's preferred values for every QoS dimension;
-//! 2. while the set of tasks is not schedulable:
-//!    a. for each task receiving service at level `Q_kj < Q_kn`,
-//!    b. determine the decrease in *local reward* from degrading attribute
-//!       `j` to `j+1`,
-//!    c. degrade the task/attribute whose decrease is minimal.
+//! 2. while the set of tasks is not schedulable: for each task receiving
+//!    service at level `Q_kj < Q_kn`, determine the decrease in *local
+//!    reward* from degrading attribute `j` to `j+1`, then degrade the
+//!    task/attribute whose decrease is minimal.
 //!
 //! The local reward is eq. 1:
 //!
@@ -200,8 +199,8 @@ pub fn formulate(
     let mut demands: Vec<ResourceVector> = Vec::with_capacity(tasks.len());
     let mut deps_ok_v: Vec<bool> = Vec::with_capacity(tasks.len());
     let mut total = ResourceVector::ZERO;
-    for ti in 0..tasks.len() {
-        let (d, ok) = eval_task(ti, &levels[ti]);
+    for (ti, lv) in levels.iter().enumerate() {
+        let (d, ok) = eval_task(ti, lv);
         total += d;
         demands.push(d);
         deps_ok_v.push(ok);
@@ -428,11 +427,7 @@ mod tests {
         .unwrap();
         // Two tasks on the same node must degrade more than one.
         assert!(two.degradations > one.degradations);
-        let total: f64 = two
-            .demands
-            .iter()
-            .map(|d| d.get(ResourceKind::Cpu))
-            .sum();
+        let total: f64 = two.demands.iter().map(|d| d.get(ResourceKind::Cpu)).sum();
         assert!(total <= 80.0 + 1e-9);
     }
 

@@ -93,8 +93,7 @@ pub use formulation::{
 pub use metrics::{NegoEvent, NegotiationMetrics, TaskOutcome};
 pub use organizer::{OrganizerConfig, OrganizerEngine};
 pub use protocol::{
-    decode_timer, encode_timer, Action, Msg, NegoId, Pid, TaskAnnouncement, TaskProposal,
-    TimerKind,
+    decode_timer, encode_timer, Action, Msg, NegoId, Pid, TaskAnnouncement, TaskProposal, TimerKind,
 };
 pub use provider::{ProposalStrategy, ProviderConfig, ProviderEngine};
 pub use simglue::{dissolve_token, kickoff_token, single_organizer_scenario, LoggedEvent, SimHost};

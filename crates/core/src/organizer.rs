@@ -205,11 +205,8 @@ impl OrganizerEngine {
     fn issue_cfp(config: &OrganizerConfig, nego: NegoId, n: &mut Nego) -> Vec<Action> {
         n.state = State::Collecting;
         n.candidates.clear();
-        let tasks: Vec<TaskAnnouncement> = n
-            .open
-            .iter()
-            .map(|t| n.announcements[t].clone())
-            .collect();
+        let tasks: Vec<TaskAnnouncement> =
+            n.open.iter().map(|t| n.announcements[t].clone()).collect();
         vec![
             Action::Broadcast(Msg::CallForProposals {
                 nego,
@@ -468,8 +465,9 @@ impl OrganizerEngine {
         if n.state != State::Operating {
             return Vec::new();
         }
-        let timeout =
-            SimDuration::micros(config.heartbeat_interval.as_micros() * config.miss_threshold as u64);
+        let timeout = SimDuration::micros(
+            config.heartbeat_interval.as_micros() * config.miss_threshold as u64,
+        );
         // Find failed members (any task whose heartbeat went stale).
         let mut failed_nodes: Vec<Pid> = Vec::new();
         for (task, node) in &n.assignments {
@@ -562,13 +560,7 @@ mod tests {
         )
     }
 
-    fn proposal_for(
-        nego: NegoId,
-        from: Pid,
-        task: TaskId,
-        frame_rate: i64,
-        link_kbps: f64,
-    ) -> Msg {
+    fn proposal_for(nego: NegoId, from: Pid, task: TaskId, frame_rate: i64, link_kbps: f64) -> Msg {
         use qosc_spec::Value;
         Msg::Proposal {
             nego,
@@ -728,7 +720,10 @@ mod tests {
         let actions = org.on_timer(SimTime(300_000), nego, TimerKind::ProposalDeadline);
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send { to: 2, msg: Msg::Award { .. } }
+            Action::Send {
+                to: 2,
+                msg: Msg::Award { .. }
+            }
         )));
     }
 
@@ -768,10 +763,9 @@ mod tests {
         assert!(org.is_operating(nego));
         // No heartbeats arrive; check far past the 200 ms timeout.
         let actions = org.on_timer(SimTime(1_000_000), nego, TimerKind::HeartbeatCheck);
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            Action::Event(NegoEvent::MemberFailed { node: 2, .. })
-        )));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Event(NegoEvent::MemberFailed { node: 2, .. }))));
         assert!(actions
             .iter()
             .any(|a| matches!(a, Action::Broadcast(Msg::CallForProposals { .. }))));
@@ -831,7 +825,10 @@ mod tests {
         let actions = org.dissolve(nego);
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send { to: 2, msg: Msg::Release { .. } }
+            Action::Send {
+                to: 2,
+                msg: Msg::Release { .. }
+            }
         )));
         assert!(actions
             .iter()
@@ -876,7 +873,10 @@ mod tests {
         // Equal distance; comm-cost tie-break favours the local node.
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send { to: 0, msg: Msg::Award { .. } }
+            Action::Send {
+                to: 0,
+                msg: Msg::Award { .. }
+            }
         )));
     }
 }

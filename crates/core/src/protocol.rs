@@ -323,12 +323,15 @@ mod tests {
             round: 0,
         };
         assert!(cfp2.estimated_bytes() > cfp1.estimated_bytes());
-        assert!(Msg::Heartbeat {
-            nego,
-            task: TaskId(0),
-            from: 0
-        }
-        .estimated_bytes() < cfp1.estimated_bytes());
+        assert!(
+            Msg::Heartbeat {
+                nego,
+                task: TaskId(0),
+                from: 0
+            }
+            .estimated_bytes()
+                < cfp1.estimated_bytes()
+        );
     }
 
     fn announcement(i: u32) -> TaskAnnouncement {

@@ -228,8 +228,7 @@ impl ProviderEngine {
                 // grants). If even fully degraded the whole set does not
                 // fit, shed tasks from the tail until a feasible subset
                 // remains — proposing for a subset is better than silence.
-                let admission =
-                    AdmissionControl::new(self.config.policy, self.ledger.available());
+                let admission = AdmissionControl::new(self.config.policy, self.ledger.available());
                 let mut count = prepared.len();
                 let outcome = loop {
                     if count == 0 {
@@ -248,11 +247,8 @@ impl ProviderEngine {
                         Err(FormulationError::Infeasible) => count -= 1,
                     }
                 };
-                for (i, (levels, demand)) in outcome
-                    .levels
-                    .into_iter()
-                    .zip(outcome.demands.into_iter())
-                    .enumerate()
+                for (i, (levels, demand)) in
+                    outcome.levels.into_iter().zip(outcome.demands).enumerate()
                 {
                     priced.push((i, levels, demand, outcome.reward));
                 }
@@ -269,8 +265,7 @@ impl ProviderEngine {
                         request: &p.request,
                         demand: p.model.as_ref(),
                     };
-                    if let Ok(out) = formulate(&[input], &admission, self.config.reward.as_ref())
-                    {
+                    if let Ok(out) = formulate(&[input], &admission, self.config.reward.as_ref()) {
                         left -= out.demands[0];
                         priced.push((i, out.levels[0].clone(), out.demands[0], out.reward));
                     }
@@ -499,7 +494,9 @@ mod tests {
         let after = p.ledger().available();
         assert!(after.get(ResourceKind::Cpu) < before.get(ResourceKind::Cpu));
         // Hold-expiry timer armed.
-        assert!(actions.iter().any(|a| matches!(a, Action::Timer { token, .. }
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Timer { token, .. }
             if crate::protocol::decode_timer(*token).unwrap().1 == TimerKind::HoldExpiry)));
     }
 
@@ -575,7 +572,10 @@ mod tests {
         );
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send { to: 0, msg: Msg::Accept { .. } }
+            Action::Send {
+                to: 0,
+                msg: Msg::Accept { .. }
+            }
         )));
         assert_eq!(p.executing(), vec![(nego(), TaskId(0))]);
         // Committed grants survive expiry.
@@ -584,8 +584,10 @@ mod tests {
         // Heartbeat timer armed exactly once.
         let hb_timers = actions
             .iter()
-            .filter(|a| matches!(a, Action::Timer { token, .. }
-                if crate::protocol::decode_timer(*token).unwrap().1 == TimerKind::HeartbeatSend))
+            .filter(|a| {
+                matches!(a, Action::Timer { token, .. }
+                if crate::protocol::decode_timer(*token).unwrap().1 == TimerKind::HeartbeatSend)
+            })
             .count();
         assert_eq!(hb_timers, 1);
     }
@@ -606,7 +608,10 @@ mod tests {
         );
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send { to: 0, msg: Msg::Decline { .. } }
+            Action::Send {
+                to: 0,
+                msg: Msg::Decline { .. }
+            }
         )));
         assert!(p.executing().is_empty());
     }
@@ -626,7 +631,10 @@ mod tests {
         let actions = p.on_timer(SimTime(502_000), nego(), TimerKind::HeartbeatSend);
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send { to: 0, msg: Msg::Heartbeat { .. } }
+            Action::Send {
+                to: 0,
+                msg: Msg::Heartbeat { .. }
+            }
         )));
         // Re-armed.
         assert!(actions.iter().any(|a| matches!(a, Action::Timer { .. })));
@@ -713,8 +721,22 @@ mod tests {
             assert!(total.get(ResourceKind::Cpu) <= 60.0 + 1e-9);
         }
         // Award both; accepts must still be resource-consistent.
-        p.on_message(SimTime(2000), 0, &Msg::Award { nego: n1, task: TaskId(0) });
-        p.on_message(SimTime(2100), 1, &Msg::Award { nego: n2, task: TaskId(0) });
+        p.on_message(
+            SimTime(2000),
+            0,
+            &Msg::Award {
+                nego: n1,
+                task: TaskId(0),
+            },
+        );
+        p.on_message(
+            SimTime(2100),
+            1,
+            &Msg::Award {
+                nego: n2,
+                task: TaskId(0),
+            },
+        );
         let committed_cpu = p.ledger().capacity().get(ResourceKind::Cpu)
             - p.ledger().available().get(ResourceKind::Cpu);
         assert!(committed_cpu <= 60.0 + 1e-9);

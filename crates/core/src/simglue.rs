@@ -286,7 +286,9 @@ mod tests {
     #[test]
     fn end_to_end_formation_in_simulation() {
         let sim = clustered_sim(4);
-        let providers = (0..4).map(|i| provider(i, 200.0 + 100.0 * i as f64)).collect();
+        let providers = (0..4)
+            .map(|i| provider(i, 200.0 + 100.0 * i as f64))
+            .collect();
         let (mut sim, mut host) = single_organizer_scenario(
             sim,
             OrganizerConfig::default(),
@@ -368,10 +370,7 @@ mod tests {
         let mut sim2 = sim;
         let (ref mut simr, mut host) = {
             let (s, h) = single_organizer_scenario(
-                std::mem::replace(
-                    &mut sim2,
-                    Simulator::new(SimConfig::default()),
-                ),
+                std::mem::replace(&mut sim2, Simulator::new(SimConfig::default())),
                 OrganizerConfig::default(),
                 providers,
                 service(1),
@@ -402,7 +401,9 @@ mod tests {
     fn deterministic_across_runs() {
         let run = || {
             let sim = clustered_sim(5);
-            let providers = (0..5).map(|i| provider(i, 100.0 + 50.0 * i as f64)).collect();
+            let providers = (0..5)
+                .map(|i| provider(i, 100.0 + 50.0 * i as f64))
+                .collect();
             let (mut sim, mut host) = single_organizer_scenario(
                 sim,
                 OrganizerConfig::default(),

@@ -71,7 +71,7 @@ proptest! {
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
         let sel1 = select_winners(&cands, &TieBreak::default());
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let shuffled: BTreeMap<TaskId, Vec<Candidate>> = cands
             .iter()
             .map(|(t, cs)| {

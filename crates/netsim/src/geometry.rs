@@ -32,7 +32,10 @@ impl Point {
         }
         let t = step / d;
         (
-            Point::new(self.x + (target.x - self.x) * t, self.y + (target.y - self.y) * t),
+            Point::new(
+                self.x + (target.x - self.x) * t,
+                self.y + (target.y - self.y) * t,
+            ),
             false,
         )
     }
@@ -65,15 +68,18 @@ impl Area {
 
     /// Uniformly random point inside the area.
     pub fn sample(&self, rng: &mut impl rand::Rng) -> Point {
-        Point::new(rng.gen_range(0.0..=self.width), rng.gen_range(0.0..=self.height))
+        Point::new(
+            rng.gen_range(0.0..=self.width),
+            rng.gen_range(0.0..=self.height),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn distance_is_euclidean() {
@@ -121,7 +127,7 @@ mod tests {
     #[test]
     fn sample_stays_inside() {
         let a = Area::new(30.0, 30.0);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
         for _ in 0..100 {
             assert!(a.contains(&a.sample(&mut rng)));
         }

@@ -17,7 +17,7 @@
 //!   hook; applications send via [`Ctx`].
 //! * [`NetStats`] — message/latency counters for the T1 experiment.
 //!
-//! Determinism: all randomness flows through one seeded `StdRng`, events
+//! Determinism: all randomness flows through one seeded `ChaCha8Rng`, events
 //! are totally ordered by `(time, sequence)`, and the clock is integral —
 //! equal seeds give bit-identical traces (asserted by tests).
 

@@ -120,8 +120,8 @@ impl MobilityState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
 
     fn area() -> Area {
         Area::new(100.0, 100.0)
@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn static_node_never_moves() {
         let mut st = MobilityState::new(Mobility::Static, Point::new(5.0, 5.0));
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
         let p = st.advance(
             Point::new(5.0, 5.0),
             SimDuration::secs(100),
@@ -149,7 +149,7 @@ mod tests {
         };
         let start = Point::new(50.0, 50.0);
         let mut st = MobilityState::new(model, start);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
         let mut p = start;
         let mut moved = false;
         for _ in 0..50 {
@@ -172,7 +172,7 @@ mod tests {
         };
         let start = Point::new(50.0, 50.0);
         let mut st = MobilityState::new(model, start);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
         let mut p = start;
         for _ in 0..20 {
             let np = st.advance(p, SimDuration::secs(1), &area(), &mut rng);
@@ -191,7 +191,7 @@ mod tests {
         };
         let start = Point::new(0.0, 0.0);
         let mut st = MobilityState::new(model, start);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
         // First advance picks a waypoint & immediately starts the pause
         // (pause is set when the leg is chosen and consumed after arrival).
         let p1 = st.advance(start, SimDuration::secs(1), &area(), &mut rng);
@@ -209,7 +209,7 @@ mod tests {
         };
         let run = |seed: u64| {
             let mut st = MobilityState::new(model.clone(), Point::new(10.0, 10.0));
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let mut p = Point::new(10.0, 10.0);
             for _ in 0..25 {
                 p = st.advance(p, SimDuration::secs(1), &area(), &mut rng);

@@ -78,8 +78,8 @@ impl RadioModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn disc_membership() {
@@ -122,7 +122,7 @@ mod tests {
     #[test]
     fn zero_loss_never_drops() {
         let r = RadioModel::default();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
         for _ in 0..100 {
             assert!(!r.drops(49.0, &mut rng));
         }
@@ -134,7 +134,7 @@ mod tests {
             loss_floor: 1.0,
             ..Default::default()
         };
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
         assert!(r.drops(1.0, &mut rng));
     }
 }

@@ -12,8 +12,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::geometry::{Area, Point};
 use crate::mobility::{Mobility, MobilityState};
@@ -141,7 +141,7 @@ pub struct Ctx<'a, M> {
     /// Current simulated time.
     pub now: SimTime,
     /// Deterministic per-run RNG, shared with the simulator.
-    pub rng: &'a mut StdRng,
+    pub rng: &'a mut ChaCha8Rng,
     cmds: Vec<Command<M>>,
     positions: Vec<(Point, bool)>,
     radio: &'a RadioModel,
@@ -196,9 +196,7 @@ impl<'a, M> Ctx<'a, M> {
             self.positions.get(a.0 as usize),
             self.positions.get(b.0 as usize),
         ) {
-            (Some(&(pa, ua)), Some(&(pb, ub))) => {
-                ua && ub && self.radio.in_range(pa.distance(&pb))
-            }
+            (Some(&(pa, ua)), Some(&(pb, ub))) => ua && ub && self.radio.in_range(pa.distance(&pb)),
             _ => false,
         }
     }
@@ -211,7 +209,7 @@ pub struct Simulator<M> {
     heap: BinaryHeap<Scheduled<M>>,
     seq: u64,
     now: SimTime,
-    rng: StdRng,
+    rng: ChaCha8Rng,
     stats: NetStats,
     mobility_armed: bool,
 }
@@ -219,7 +217,7 @@ pub struct Simulator<M> {
 impl<M: Clone> Simulator<M> {
     /// Creates an empty simulation.
     pub fn new(config: SimConfig) -> Self {
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = ChaCha8Rng::seed_from_u64(config.seed);
         Self {
             config,
             nodes: Vec::new(),
@@ -374,8 +372,10 @@ impl<M: Clone> Simulator<M> {
 
     fn submit_unicast(&mut self, src: NodeId, dst: NodeId, bytes: u64, msg: M) {
         self.stats.unicasts_sent += 1;
-        let (Some(s), Some(d)) = (self.nodes.get(src.0 as usize), self.nodes.get(dst.0 as usize))
-        else {
+        let (Some(s), Some(d)) = (
+            self.nodes.get(src.0 as usize),
+            self.nodes.get(dst.0 as usize),
+        ) else {
             self.stats.unicasts_unreachable += 1;
             return;
         };

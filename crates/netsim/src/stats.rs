@@ -41,11 +41,9 @@ impl NetStats {
 
     /// Mean delivery latency over all delivered messages.
     pub fn mean_latency(&self) -> SimDuration {
-        if self.latency_samples == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::micros(self.latency_sum_us / self.latency_samples)
-        }
+        self.latency_sum_us
+            .checked_div(self.latency_samples)
+            .map_or(SimDuration::ZERO, SimDuration::micros)
     }
 
     /// All messages that entered the medium (unicasts + broadcasts).

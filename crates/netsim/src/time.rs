@@ -133,7 +133,10 @@ mod tests {
     fn arithmetic() {
         let t = SimTime::ZERO + SimDuration::millis(3);
         assert_eq!(t.as_micros(), 3000);
-        assert_eq!((t + SimDuration::millis(2)).since(t), SimDuration::millis(2));
+        assert_eq!(
+            (t + SimDuration::millis(2)).since(t),
+            SimDuration::millis(2)
+        );
         // Saturating difference never panics.
         assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
         assert_eq!(t - SimTime::ZERO, SimDuration::millis(3));

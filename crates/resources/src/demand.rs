@@ -209,7 +209,12 @@ mod tests {
     fn qv(spec: &QosSpec, fr: i64, cd: i64, sr: i64, sb: i64) -> QualityVector {
         QualityVector::new(
             spec,
-            vec![Value::Int(fr), Value::Int(cd), Value::Int(sr), Value::Int(sb)],
+            vec![
+                Value::Int(fr),
+                Value::Int(cd),
+                Value::Int(sr),
+                Value::Int(sb),
+            ],
         )
         .unwrap()
     }

@@ -4,7 +4,13 @@ use proptest::prelude::*;
 use qosc_resources::{NodeLedger, ResourceKind, ResourceVector};
 
 fn small_demand() -> impl Strategy<Value = ResourceVector> {
-    (0.0f64..30.0, 0.0f64..30.0, 0.0f64..30.0, 0.0f64..30.0, 0.0f64..30.0)
+    (
+        0.0f64..30.0,
+        0.0f64..30.0,
+        0.0f64..30.0,
+        0.0f64..30.0,
+        0.0f64..30.0,
+    )
         .prop_map(|(a, b, c, d, e)| ResourceVector::new(a, b, c, d, e))
 }
 

@@ -42,7 +42,10 @@ pub fn surveillance_request() -> ServiceRequest {
             "frame_rate",
             vec![LevelSpec::int_range(10, 5), LevelSpec::int_range(4, 1)],
         )
-        .attribute("color_depth", vec![LevelSpec::value(3i64), LevelSpec::value(1i64)])
+        .attribute(
+            "color_depth",
+            vec![LevelSpec::value(3i64), LevelSpec::value(1i64)],
+        )
         .dimension("Audio Quality")
         .attribute("sampling_rate", vec![LevelSpec::value(8i64)])
         .attribute("sample_bits", vec![LevelSpec::value(8i64)])
@@ -72,7 +75,10 @@ pub fn video_conference_request() -> ServiceRequest {
                 LevelSpec::value(16i64),
             ],
         )
-        .attribute("sample_bits", vec![LevelSpec::value(16i64), LevelSpec::value(8i64)])
+        .attribute(
+            "sample_bits",
+            vec![LevelSpec::value(16i64), LevelSpec::value(8i64)],
+        )
         .build()
 }
 
@@ -99,7 +105,10 @@ pub fn voice_first_request() -> ServiceRequest {
         )
         .dimension("Video Quality")
         .attribute("frame_rate", vec![LevelSpec::int_range(15, 1)])
-        .attribute("color_depth", vec![LevelSpec::value(8i64), LevelSpec::value(3i64)])
+        .attribute(
+            "color_depth",
+            vec![LevelSpec::value(8i64), LevelSpec::value(3i64)],
+        )
         .build()
 }
 
@@ -133,10 +142,7 @@ pub fn transcode_spec() -> QosSpec {
             DependencyKind::LinearBudget {
                 // chunk_rate + bitrate/100 <= 80: a node cannot promise both
                 // maximal rate and maximal fidelity.
-                terms: vec![
-                    (AttrPath::new(0, 0), 1.0),
-                    (AttrPath::new(1, 1), 0.01),
-                ],
+                terms: vec![(AttrPath::new(0, 0), 1.0), (AttrPath::new(1, 1), 0.01)],
                 max: 80.0,
             },
         ))

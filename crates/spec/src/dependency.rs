@@ -217,7 +217,10 @@ mod tests {
                 require_in: vec![],
             },
         );
-        assert_eq!(spec_with(Some(dep)).unwrap_err(), SpecError::DanglingDependency);
+        assert_eq!(
+            spec_with(Some(dep)).unwrap_err(),
+            SpecError::DanglingDependency
+        );
     }
 
     #[test]

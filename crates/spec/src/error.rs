@@ -61,32 +61,60 @@ impl fmt::Display for SpecError {
         match self {
             SpecError::EmptyDomain => write!(f, "discrete domain has no values"),
             SpecError::DuplicateDomainValue => {
-                write!(f, "discrete domain lists a value twice (pos would be ambiguous)")
+                write!(
+                    f,
+                    "discrete domain lists a value twice (pos would be ambiguous)"
+                )
             }
             SpecError::InvalidInterval => write!(f, "continuous interval is empty or non-finite"),
             SpecError::DuplicateName(n) => write!(f, "duplicate name `{n}` in specification"),
             SpecError::EmptySpec => {
-                write!(f, "specification needs >=1 dimension and >=1 attribute per dimension")
+                write!(
+                    f,
+                    "specification needs >=1 dimension and >=1 attribute per dimension"
+                )
             }
             SpecError::UnknownDimension(d) => write!(f, "request names unknown dimension `{d}`"),
-            SpecError::UnknownAttribute { dimension, attribute } => {
-                write!(f, "request names unknown attribute `{attribute}` in dimension `{dimension}`")
+            SpecError::UnknownAttribute {
+                dimension,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "request names unknown attribute `{attribute}` in dimension `{dimension}`"
+                )
             }
-            SpecError::ValueOutsideDomain { dimension, attribute, value } => write!(
+            SpecError::ValueOutsideDomain {
+                dimension,
+                attribute,
+                value,
+            } => write!(
                 f,
                 "value `{value}` for `{dimension}.{attribute}` is outside the declared domain"
             ),
-            SpecError::TypeMismatch { dimension, attribute } => {
+            SpecError::TypeMismatch {
+                dimension,
+                attribute,
+            } => {
                 write!(f, "value type mismatch for `{dimension}.{attribute}`")
             }
-            SpecError::EmptyPreference { dimension, attribute } => {
-                write!(f, "preference for `{dimension}.{attribute}` expands to no levels")
+            SpecError::EmptyPreference {
+                dimension,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "preference for `{dimension}.{attribute}` expands to no levels"
+                )
             }
             SpecError::DuplicateRequestEntry(n) => {
                 write!(f, "request lists `{n}` more than once")
             }
             SpecError::DanglingDependency => {
-                write!(f, "dependency references an attribute outside the specification")
+                write!(
+                    f,
+                    "dependency references an attribute outside the specification"
+                )
             }
         }
     }

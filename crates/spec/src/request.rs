@@ -166,7 +166,10 @@ impl ServiceRequest {
                 .ok_or_else(|| SpecError::UnknownDimension(dp.dimension.clone()))?;
             let mut attrs = Vec::with_capacity(dp.attributes.len());
             for (j, ap) in dp.attributes.iter().enumerate() {
-                if dp.attributes[..j].iter().any(|x| x.attribute == ap.attribute) {
+                if dp.attributes[..j]
+                    .iter()
+                    .any(|x| x.attribute == ap.attribute)
+                {
                     return Err(SpecError::DuplicateRequestEntry(ap.attribute.clone()));
                 }
                 let (ai, attr) =
@@ -325,10 +328,12 @@ impl ResolvedRequest {
     /// requested attributes: `((k, i), pref)` with 0-based `k` (dimension
     /// rank) and `i` (attribute rank within the dimension).
     pub fn iter_attrs(&self) -> impl Iterator<Item = ((usize, usize), &ResolvedAttrPref)> {
-        self.dimensions
-            .iter()
-            .enumerate()
-            .flat_map(|(k, d)| d.attributes.iter().enumerate().map(move |(i, a)| ((k, i), a)))
+        self.dimensions.iter().enumerate().flat_map(|(k, d)| {
+            d.attributes
+                .iter()
+                .enumerate()
+                .map(move |(i, a)| ((k, i), a))
+        })
     }
 
     /// Looks up the preference entry for an attribute path.
@@ -488,7 +493,10 @@ mod tests {
             .dimension("Video Quality")
             .attribute("frame_rate", vec![LevelSpec::value(10.0f64)])
             .build();
-        assert!(matches!(bad.resolve(&spec), Err(SpecError::TypeMismatch { .. })));
+        assert!(matches!(
+            bad.resolve(&spec),
+            Err(SpecError::TypeMismatch { .. })
+        ));
 
         let bad = ServiceRequest::builder("x")
             .dimension("Video Quality")

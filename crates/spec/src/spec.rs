@@ -175,16 +175,15 @@ impl QosSpec {
     /// Iterates all attribute paths in dimension-major declaration order —
     /// the canonical flattening used by quality vectors.
     pub fn paths(&self) -> impl Iterator<Item = AttrPath> + '_ {
-        self.dimensions.iter().enumerate().flat_map(|(di, d)| {
-            (0..d.attributes.len()).map(move |ai| AttrPath::new(di, ai))
-        })
+        self.dimensions
+            .iter()
+            .enumerate()
+            .flat_map(|(di, d)| (0..d.attributes.len()).map(move |ai| AttrPath::new(di, ai)))
     }
 
     /// Flat index of `path` in [`QosSpec::paths`] order.
     pub fn flat_index(&self, path: AttrPath) -> Option<usize> {
-        if self.attribute_at(path).is_none() {
-            return None;
-        }
+        self.attribute_at(path)?;
         let before: usize = self.dimensions[..path.dim()]
             .iter()
             .map(|d| d.attributes.len())
@@ -437,7 +436,12 @@ mod tests {
         let s = video_spec();
         let qv = QualityVector::new(
             &s,
-            vec![Value::Int(25), Value::Int(24), Value::Int(44), Value::Int(16)],
+            vec![
+                Value::Int(25),
+                Value::Int(24),
+                Value::Int(44),
+                Value::Int(16),
+            ],
         )
         .unwrap();
         let p = s.path("Video Quality", "color_depth").unwrap();
@@ -451,7 +455,12 @@ mod tests {
         // 2 is not an admissible colour depth
         assert!(QualityVector::new(
             &s,
-            vec![Value::Int(25), Value::Int(2), Value::Int(44), Value::Int(16)]
+            vec![
+                Value::Int(25),
+                Value::Int(2),
+                Value::Int(44),
+                Value::Int(16)
+            ]
         )
         .is_none());
     }
@@ -461,7 +470,12 @@ mod tests {
         let s = video_spec();
         let mut qv = QualityVector::new(
             &s,
-            vec![Value::Int(25), Value::Int(24), Value::Int(44), Value::Int(16)],
+            vec![
+                Value::Int(25),
+                Value::Int(24),
+                Value::Int(44),
+                Value::Int(16),
+            ],
         )
         .unwrap();
         let p = s.path("Video Quality", "frame_rate").unwrap();

@@ -1,9 +1,7 @@
 //! Property-based tests over the specification layer's invariants.
 
 use proptest::prelude::*;
-use qosc_spec::{
-    Attribute, Dimension, Domain, LevelSpec, QosSpec, ServiceRequest, Value,
-};
+use qosc_spec::{Attribute, Dimension, Domain, LevelSpec, QosSpec, ServiceRequest, Value};
 
 /// Strategy: a discrete integer domain of 1..=8 distinct values.
 fn discrete_int_domain() -> impl Strategy<Value = Vec<i64>> {

@@ -1,0 +1,58 @@
+//! The negotiation protocol on the *live* threaded transport.
+//!
+//! The engines are sans-IO; here each node is an OS-thread actor
+//! (`qosc-actors`) with real wall-clock timers, and the process-wide
+//! `Directory` plays the radio's role. The same code drives the
+//! deterministic simulator in every experiment — this example proves the
+//! protocol also runs concurrently in real time. The cluster harness is
+//! shared with the `live_actor_transport` integration test.
+//!
+//! ```text
+//! cargo run -p qosc-system-tests --example live_actors
+//! ```
+
+use std::time::Duration;
+
+use qosc_core::NegoEvent;
+use qosc_spec::{catalog, ServiceDef, TaskDef};
+use qosc_system_tests::live::{spawn_live_cluster, LiveMsg};
+
+fn main() {
+    let (mut system, dir, events_rx) = spawn_live_cluster(&[15.0, 60.0, 150.0, 400.0]);
+
+    // Node 0 originates a two-camera surveillance service.
+    let spec = catalog::av_spec();
+    let service = ServiceDef::new(
+        "live-demo",
+        (0..2)
+            .map(|i| TaskDef {
+                name: format!("camera-{i}"),
+                spec: spec.clone(),
+                request: catalog::surveillance_request(),
+                input_bytes: 80_000,
+                output_bytes: 8_000,
+            })
+            .collect(),
+    );
+    dir.send(0, 0, LiveMsg::Start(service));
+
+    // Wait (wall clock!) for the coalition to form.
+    match events_rx.recv_timeout(Duration::from_secs(10)) {
+        Ok((node, NegoEvent::Formed { metrics, .. })) => {
+            println!("coalition formed (organizer node {node}):");
+            for (task, o) in &metrics.outcomes {
+                println!("  {task} -> node {} at distance {:.4}", o.node, o.distance);
+            }
+            println!(
+                "  formation took {:.0} ms of real time",
+                metrics
+                    .formation_latency()
+                    .map(|l| l.as_secs_f64() * 1000.0)
+                    .unwrap_or(0.0)
+            );
+        }
+        Ok((node, other)) => println!("node {node} reported: {other:?}"),
+        Err(_) => eprintln!("no coalition within 10 s — check thread scheduling"),
+    }
+    system.shutdown();
+}

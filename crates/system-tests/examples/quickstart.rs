@@ -1,7 +1,7 @@
 //! Quickstart: three wireless nodes negotiate a one-task coalition.
 //!
 //! ```text
-//! cargo run -p qosc-bench --example quickstart
+//! cargo run -p qosc-system-tests --example quickstart
 //! ```
 
 use std::sync::Arc;

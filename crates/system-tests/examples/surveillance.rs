@@ -7,7 +7,7 @@
 //! including the eq. 2 evaluation that picked it.
 //!
 //! ```text
-//! cargo run -p qosc-bench --example surveillance
+//! cargo run -p qosc-system-tests --example surveillance
 //! ```
 
 use std::sync::Arc;
@@ -30,7 +30,13 @@ fn main() {
         println!("{}. {}", k + 1, dim.name);
         for (i, attr) in dim.attributes.iter().enumerate() {
             let ladder: Vec<String> = attr.levels.iter().map(|v| v.to_string()).collect();
-            println!("   {}.{} {}: [{}]", k + 1, i + 1, attr.name, ladder.join(", "));
+            println!(
+                "   {}.{} {}: [{}]",
+                k + 1,
+                i + 1,
+                attr.name,
+                ladder.join(", ")
+            );
         }
     }
 

@@ -7,7 +7,7 @@
 //! call per task; this example shows the crossover as the payload grows.
 //!
 //! ```text
-//! cargo run -p qosc-bench --example transcode_offload
+//! cargo run -p qosc-system-tests --example transcode_offload
 //! ```
 
 use std::collections::HashMap;
@@ -22,7 +22,10 @@ use qosc_workloads::transcode_demand_model;
 fn node(id: u32, class: DeviceClass) -> OfflineNode {
     let spec = catalog::transcode_spec();
     let mut models: HashMap<String, Arc<dyn qosc_resources::DemandModel>> = HashMap::new();
-    models.insert(spec.name().to_string(), Arc::new(transcode_demand_model(&spec)));
+    models.insert(
+        spec.name().to_string(),
+        Arc::new(transcode_demand_model(&spec)),
+    );
     let capacity = class.capacity();
     OfflineNode {
         id,
@@ -44,8 +47,8 @@ fn main() {
         let inst = Instance {
             requester: 0,
             nodes: vec![
-                node(0, DeviceClass::Phone),   // the requester
-                node(1, DeviceClass::Laptop),  // a strong neighbour
+                node(0, DeviceClass::Phone),  // the requester
+                node(1, DeviceClass::Laptop), // a strong neighbour
             ],
             tasks: vec![OfflineTask {
                 id: TaskId(0),
@@ -59,7 +62,11 @@ fn main() {
         let a = protocol_emulation(&inst, &TieBreak::default());
         match a.placements.get(&TaskId(0)) {
             Some(p) => {
-                let who = if p.node == 0 { "local phone" } else { "remote laptop" };
+                let who = if p.node == 0 {
+                    "local phone"
+                } else {
+                    "remote laptop"
+                };
                 println!(
                     "{mb:>10.1} | {who:<13} | {:>8.4} | {:>10.3}",
                     p.distance, p.comm_cost

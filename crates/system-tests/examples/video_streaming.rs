@@ -7,7 +7,7 @@
 //! coalition's outcome against local-only execution.
 //!
 //! ```text
-//! cargo run -p qosc-bench --example video_streaming --release
+//! cargo run -p qosc-system-tests --example video_streaming --release
 //! ```
 
 use qosc_baselines::{protocol_emulation, single_node, ProposalStrategy};

@@ -8,9 +8,7 @@ use qosc_baselines::{
     builders::small_instance, exhaustive_optimal, protocol_emulation, protocol_emulation_with,
     single_node, ProposalStrategy,
 };
-use qosc_core::{
-    formulate, Evaluator, LinearPenalty, TaskInput, TieBreak,
-};
+use qosc_core::{formulate, Evaluator, LinearPenalty, TaskInput, TieBreak};
 use qosc_resources::{
     av_demand_model, AdmissionControl, ResourceKind, ResourceVector, SchedulingPolicy,
 };

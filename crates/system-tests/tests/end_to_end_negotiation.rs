@@ -2,56 +2,22 @@
 //! with message accounting checked against the protocol's analytic cost
 //! and dissolution restoring every ledger.
 
-use std::sync::Arc;
-
 use qosc_core::{
-    dissolve_token, single_organizer_scenario, NegoEvent, NegoId, OrganizerConfig,
-    ProviderConfig, ProviderEngine,
+    dissolve_token, single_organizer_scenario, NegoEvent, NegoId, OrganizerConfig, ProviderConfig,
+    ProviderEngine,
 };
-use qosc_netsim::{Area, Mobility, NodeId, Point, SimConfig, SimDuration, SimTime, Simulator};
-use qosc_resources::{av_demand_model, ResourceKind, ResourceVector};
-use qosc_spec::{catalog, ServiceDef, TaskDef, TaskId};
+use qosc_netsim::{NodeId, SimDuration, SimTime};
+use qosc_resources::ResourceKind;
+use qosc_spec::{ServiceDef, TaskId};
+use qosc_system_tests::{av_provider_with, dense_sim, quiet_provider, surveillance_service_sized};
 
+/// Provider with heartbeats kept out of the message-accounting window.
 fn provider(id: u32, cpu: f64) -> ProviderEngine {
-    let spec = catalog::av_spec();
-    let mut p = ProviderEngine::new(
-        id,
-        ResourceVector::new(cpu, 512.0, 10_000.0, 60.0, 10_000.0),
-        ProviderConfig {
-            // Keep heartbeats out of the message-accounting window.
-            heartbeat_interval: SimDuration::secs(3600),
-            ..Default::default()
-        },
-    );
-    p.register_demand_model(spec.name(), Arc::new(av_demand_model(&spec)));
-    p
+    quiet_provider(id, cpu)
 }
 
 fn service(tasks: usize) -> ServiceDef {
-    ServiceDef::new(
-        "svc",
-        (0..tasks)
-            .map(|i| TaskDef {
-                name: format!("t{i}"),
-                spec: catalog::av_spec(),
-                request: catalog::surveillance_request(),
-                input_bytes: 100_000,
-                output_bytes: 10_000,
-            })
-            .collect(),
-    )
-}
-
-fn dense_sim(n: usize) -> Simulator<qosc_core::Msg> {
-    let mut sim = Simulator::new(SimConfig {
-        area: Area::new(40.0, 40.0),
-        seed: 99,
-        ..Default::default()
-    });
-    for i in 0..n {
-        sim.add_node(Point::new(3.0 * i as f64, 0.0), Mobility::Static);
-    }
-    sim
+    surveillance_service_sized("svc", tasks, 100_000, 10_000)
 }
 
 #[test]
@@ -62,10 +28,17 @@ fn coalition_forms_with_correct_winner_and_message_count() {
     // demand ≈ 18.25 MIPS); the rest must degrade.
     let cpus = [10.0, 12.0, 14.0, 500.0, 9.0];
     let providers = (0..n).map(|i| provider(i as u32, cpus[i])).collect();
-    let mut organizer = OrganizerConfig::default();
-    organizer.monitor = false;
-    let (mut sim, mut host) =
-        single_organizer_scenario(sim, organizer, providers, service(1), SimDuration::millis(1));
+    let organizer = OrganizerConfig {
+        monitor: false,
+        ..Default::default()
+    };
+    let (mut sim, mut host) = single_organizer_scenario(
+        sim,
+        organizer,
+        providers,
+        service(1),
+        SimDuration::millis(1),
+    );
     sim.run_until(&mut host, SimTime(10_000_000));
 
     let formed: Vec<_> = host
@@ -104,17 +77,14 @@ fn multi_task_service_spreads_across_nodes_with_sequential_pricing() {
     // on the requester — covered by F4/EXPERIMENTS.md.)
     let providers = (0..n)
         .map(|i| {
-            let spec = catalog::av_spec();
-            let mut p = ProviderEngine::new(
+            av_provider_with(
                 i as u32,
-                ResourceVector::new(20.0, 512.0, 10_000.0, 60.0, 10_000.0),
+                20.0,
                 ProviderConfig {
                     strategy: qosc_core::ProposalStrategy::Sequential,
                     ..Default::default()
                 },
-            );
-            p.register_demand_model(spec.name(), Arc::new(av_demand_model(&spec)));
-            p
+            )
         })
         .collect();
     let (mut sim, mut host) = single_organizer_scenario(
@@ -133,11 +103,18 @@ fn multi_task_service_spreads_across_nodes_with_sequential_pricing() {
             NegoEvent::Formed { metrics, .. } => Some(metrics.clone()),
             _ => None,
         })
-        .expect("coalition should form: {host.events:?}");
+        .unwrap_or_else(|| panic!("coalition should form: {:?}", host.events));
     assert_eq!(formed.outcomes.len(), 3);
-    assert_eq!(formed.distinct_members(), 3, "one node per task: {formed:?}");
+    assert_eq!(
+        formed.distinct_members(),
+        3,
+        "one node per task: {formed:?}"
+    );
     for o in formed.outcomes.values() {
-        assert_eq!(o.distance, 0.0, "sequential pricing keeps preferred quality");
+        assert_eq!(
+            o.distance, 0.0,
+            "sequential pricing keeps preferred quality"
+        );
     }
 }
 
@@ -167,7 +144,10 @@ fn dissolution_releases_every_ledger() {
             })
             .sum()
     };
-    assert!(committed(&host) > 0.0, "resources committed while operating");
+    assert!(
+        committed(&host) > 0.0,
+        "resources committed while operating"
+    );
 
     // Host-driven dissolution: the organizer sends Release to all members.
     let nego = NegoId {

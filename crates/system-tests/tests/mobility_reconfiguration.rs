@@ -5,8 +5,8 @@
 use qosc_core::NegoEvent;
 use qosc_netsim::{Area, NodeId, RadioModel, SimDuration, SimTime};
 use qosc_workloads::{pedestrian, AppTemplate, PopulationConfig, Scenario, ScenarioConfig};
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 fn scenario(seed: u64, speed: Option<f64>, range: f64) -> Scenario {
     Scenario::build(&ScenarioConfig {
@@ -26,7 +26,7 @@ fn scenario(seed: u64, speed: Option<f64>, range: f64) -> Scenario {
 #[test]
 fn member_failure_triggers_reconfiguration_and_recovery() {
     let mut s = scenario(21, None, 200.0); // static, fully connected
-    let mut rng = StdRng::seed_from_u64(4);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
     let svc = AppTemplate::Surveillance.service("svc", 2, &mut rng);
     s.submit(0, svc, SimTime(1_000));
     s.run_until(SimTime(2_000_000));
@@ -50,7 +50,8 @@ fn member_failure_triggers_reconfiguration_and_recovery() {
         // seeds make this rare. Nothing to test then.
         return;
     };
-    s.sim.schedule_down(NodeId(victim), SimDuration::millis(100));
+    s.sim
+        .schedule_down(NodeId(victim), SimDuration::millis(100));
     s.run_until(SimTime(30_000_000));
     assert!(
         s.host
@@ -61,17 +62,17 @@ fn member_failure_triggers_reconfiguration_and_recovery() {
         s.host.events
     );
     // After reconfiguration the victim's tasks live somewhere else.
-    let last_metrics = s
-        .host
-        .events
-        .iter()
-        .rev()
-        .find_map(|e| match &e.event {
-            NegoEvent::Formed { metrics, .. }
-            | NegoEvent::FormationIncomplete { metrics, .. } => Some(metrics.clone()),
-            _ => None,
-        })
-        .expect("a settling event after reconfiguration");
+    let last_metrics =
+        s.host
+            .events
+            .iter()
+            .rev()
+            .find_map(|e| match &e.event {
+                NegoEvent::Formed { metrics, .. }
+                | NegoEvent::FormationIncomplete { metrics, .. } => Some(metrics.clone()),
+                _ => None,
+            })
+            .expect("a settling event after reconfiguration");
     for o in last_metrics.outcomes.values() {
         assert_ne!(o.node, victim, "no task may remain on the dead node");
     }
@@ -88,7 +89,7 @@ fn formation_succeeds_across_mobility_levels() {
                 if speed > 0.0 { Some(speed) } else { None },
                 60.0,
             );
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let svc = AppTemplate::Surveillance.service("svc", 2, &mut rng);
             s.submit(0, svc, SimTime(1_000));
             s.run_until(SimTime(20_000_000));
@@ -124,7 +125,7 @@ fn sparse_disconnected_topology_fails_gracefully() {
         seed: 7,
         ..Default::default()
     });
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
     let svc = AppTemplate::VideoConference.service("svc", 3, &mut rng);
     s.submit(0, svc, SimTime(1_000));
     s.run_until(SimTime(30_000_000));

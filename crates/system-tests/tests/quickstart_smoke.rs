@@ -1,0 +1,44 @@
+//! Smoke test guarding the public API surface that the `qosc_core`
+//! lib.rs doctest exercises: the quickstart scenario must build through
+//! the same constructors and actually form a coalition.
+
+use qosc_core::NegoEvent;
+use qosc_netsim::SimTime;
+use qosc_system_tests::quickstart_scenario;
+
+#[test]
+fn quickstart_scenario_forms_a_coalition() {
+    let (mut sim, mut host) = quickstart_scenario();
+    sim.run_until(&mut host, SimTime(5_000_000));
+    let formed: Vec<_> = host
+        .events
+        .iter()
+        .filter(|e| matches!(e.event, NegoEvent::Formed { .. }))
+        .collect();
+    assert_eq!(formed.len(), 1, "exactly one coalition should form");
+    // The formed coalition must have picked a real node and recorded
+    // per-task outcomes.
+    if let NegoEvent::Formed { metrics, .. } = &formed[0].event {
+        assert!(!metrics.outcomes.is_empty());
+        for o in metrics.outcomes.values() {
+            assert!(o.node < 3);
+        }
+        assert!(metrics.distinct_members() >= 1);
+    }
+    // The network actually carried protocol traffic.
+    assert!(sim.stats().messages_sent() > 0);
+}
+
+#[test]
+fn quickstart_scenario_is_deterministic() {
+    let run = || {
+        let (mut sim, mut host) = quickstart_scenario();
+        sim.run_until(&mut host, SimTime(5_000_000));
+        (
+            host.events.len(),
+            sim.stats().messages_sent(),
+            format!("{:?}", host.events),
+        )
+    };
+    assert_eq!(run(), run());
+}

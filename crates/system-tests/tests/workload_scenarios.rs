@@ -2,27 +2,16 @@
 //! concurrent negotiations from different organizers, determinism.
 
 use qosc_core::NegoEvent;
-use qosc_netsim::{Area, SimTime};
-use qosc_workloads::{
-    AppTemplate, PoissonArrivals, PopulationConfig, Scenario, ScenarioConfig,
-};
-use rand::rngs::StdRng;
+use qosc_netsim::SimTime;
+use qosc_system_tests::dense_scenario;
+use qosc_workloads::{AppTemplate, PoissonArrivals};
 use rand::SeedableRng;
-
-fn dense(seed: u64, nodes: usize) -> Scenario {
-    Scenario::build(&ScenarioConfig {
-        nodes,
-        area: Area::new(50.0, 50.0),
-        population: PopulationConfig::default(),
-        seed,
-        ..Default::default()
-    })
-}
+use rand_chacha::ChaCha8Rng;
 
 #[test]
 fn poisson_stream_of_services_is_processed() {
-    let mut s = dense(31, 8);
-    let mut rng = StdRng::seed_from_u64(31);
+    let mut s = dense_scenario(31, 8);
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
     let arrivals = PoissonArrivals::new(0.5); // one service every ~2 s
     let times = arrivals.sample_until(SimTime(1_000), SimTime(20_000_000), &mut rng);
     assert!(!times.is_empty());
@@ -46,13 +35,17 @@ fn poisson_stream_of_services_is_processed() {
             )
         })
         .count();
-    assert_eq!(settled, n, "every negotiation must settle: {:?}", s.host.events);
+    assert_eq!(
+        settled, n,
+        "every negotiation must settle: {:?}",
+        s.host.events
+    );
 }
 
 #[test]
 fn concurrent_negotiations_do_not_overcommit_any_node() {
-    let mut s = dense(77, 6);
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut s = dense_scenario(77, 6);
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
     // Two organizers fire at the same instant.
     for org in [0u32, 1u32] {
         let svc = AppTemplate::Surveillance.service(format!("svc-{org}"), 2, &mut rng);
@@ -91,8 +84,8 @@ fn concurrent_negotiations_do_not_overcommit_any_node() {
 #[test]
 fn identical_seeds_give_identical_event_logs() {
     let run = |seed: u64| {
-        let mut s = dense(seed, 8);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = dense_scenario(seed, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         for i in 0..4 {
             let svc = AppTemplate::Surveillance.service(format!("svc-{i}"), 2, &mut rng);
             s.submit(i as u32 % 3, svc, SimTime(1_000 + i as u64 * 500_000));

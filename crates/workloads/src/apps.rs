@@ -100,7 +100,9 @@ pub fn transcode_demand_model(spec: &QosSpec) -> LinearDemandModel {
     let ratio = spec
         .path("Throughput", "compression_ratio")
         .expect("transcode spec has compression_ratio");
-    let codec = spec.path("Fidelity", "codec").expect("transcode spec has codec");
+    let codec = spec
+        .path("Fidelity", "codec")
+        .expect("transcode spec has codec");
     let bitrate = spec
         .path("Fidelity", "bitrate_kbps")
         .expect("transcode spec has bitrate_kbps");
@@ -154,12 +156,12 @@ pub fn transcode_demand_model(spec: &QosSpec) -> LinearDemandModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn every_template_is_internally_consistent() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
         for t in AppTemplate::ALL {
             let spec = t.spec();
             let resolved = t.request().resolve(&spec);
@@ -177,8 +179,7 @@ mod tests {
         assert!(model.validate(&spec));
         let req = catalog::transcode_request().resolve(&spec).unwrap();
         let best = req.quality_vector(&spec, &[0, 0, 0, 0]).unwrap();
-        let worst_levels: Vec<usize> =
-            req.ladder_lengths().iter().map(|l| l - 1).collect();
+        let worst_levels: Vec<usize> = req.ladder_lengths().iter().map(|l| l - 1).collect();
         let worst = req.quality_vector(&spec, &worst_levels).unwrap();
         let d_best = model.demand(&spec, &best);
         let d_worst = model.demand(&spec, &worst);
@@ -187,7 +188,7 @@ mod tests {
 
     #[test]
     fn payloads_are_plausible() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
         for t in AppTemplate::ALL {
             let (i, o) = t.payload(&mut rng);
             assert!(i > 0 && o > 0);

@@ -7,15 +7,13 @@
 //! application templates' demand models registered. Experiments then queue
 //! services and run the simulator.
 
-use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use qosc_core::{
     kickoff_token, Msg, OrganizerConfig, OrganizerEngine, ProviderConfig, ProviderEngine, SimHost,
 };
-use qosc_netsim::{
-    Area, Mobility, RadioModel, SimConfig, SimDuration, SimTime, Simulator,
-};
+use qosc_netsim::{Area, Mobility, RadioModel, SimConfig, SimDuration, SimTime, Simulator};
 use qosc_resources::{NodeProfile, ResourceKind};
 use qosc_spec::ServiceDef;
 
@@ -73,7 +71,7 @@ pub struct Scenario {
 impl Scenario {
     /// Builds a scenario from the config.
     pub fn build(config: &ScenarioConfig) -> Scenario {
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed_cafe);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5eed_cafe);
         let mut sim: Simulator<Msg> = Simulator::new(SimConfig {
             area: config.area,
             radio: config.radio.clone(),
@@ -147,8 +145,8 @@ pub fn pedestrian(speed_ms: f64) -> Mobility {
 mod tests {
     use super::*;
     use qosc_core::NegoEvent;
-    use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn dense_static_scenario_forms_coalitions() {
@@ -159,7 +157,7 @@ mod tests {
             ..Default::default()
         };
         let mut scenario = Scenario::build(&config);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
         let svc = AppTemplate::Surveillance.service("svc", 2, &mut rng);
         scenario.submit(0, svc, SimTime(1_000));
         scenario.run_until(SimTime(5_000_000));
@@ -192,22 +190,19 @@ mod tests {
                 ..Default::default()
             };
             let mut scenario = Scenario::build(&config);
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let svc = AppTemplate::VideoConference.service("svc", 3, &mut rng);
             scenario.submit(0, svc, SimTime(1_000));
             scenario.run_until(SimTime(10_000_000));
             (
-                scenario.host.events.len(),
+                format!("{:?}", scenario.host.events),
                 scenario.sim.stats().messages_sent(),
             )
         };
         assert_eq!(run(11), run(11));
-        // And different seeds genuinely vary the world.
-        let a = run(11);
-        let b = run(12);
-        // (Not guaranteed different in principle, but with random
-        // placement and payloads it would be extraordinary.)
-        assert!(a != b || true);
+        // And different seeds genuinely vary the world: the full event
+        // log (timings, winners, metrics) can't coincide across seeds.
+        assert_ne!(run(11), run(12));
     }
 
     #[test]
@@ -228,7 +223,10 @@ mod tests {
             .collect();
         scenario.run_until(SimTime(30_000_000));
         for (i, profile) in scenario.profiles.iter().enumerate() {
-            let after = scenario.sim.position(qosc_netsim::NodeId(i as u32)).unwrap();
+            let after = scenario
+                .sim
+                .position(qosc_netsim::NodeId(i as u32))
+                .unwrap();
             let moved = before[i].distance(&after) > 1.0;
             if profile.class.battery_powered() {
                 // Pedestrian nodes almost surely moved within 30 s.

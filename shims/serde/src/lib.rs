@@ -1,0 +1,11 @@
+//! Offline shim for `serde`: marker traits and re-exported no-op derive
+//! macros. The workspace only ever derives these traits — nothing is
+//! serialized — so empty traits and empty derive expansions suffice.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

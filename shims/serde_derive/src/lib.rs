@@ -1,0 +1,16 @@
+//! Offline shim for `serde_derive`: the workspace derives
+//! `Serialize`/`Deserialize` on its data types but never serializes
+//! anything, so both derives expand to nothing. The `serde` helper
+//! attribute (e.g. `#[serde(transparent)]`) is accepted and ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
