@@ -33,12 +33,14 @@ pub fn small_instance(cpus: &[f64], tasks: usize) -> Instance {
         })
         .collect();
     let tasks = (0..tasks)
-        .map(|i| OfflineTask {
-            id: TaskId(i as u32),
-            spec: spec.clone(),
-            request: catalog::surveillance_request().resolve(&spec).unwrap(),
-            input_bytes: 100_000,
-            output_bytes: 10_000,
+        .map(|i| {
+            OfflineTask::new(
+                TaskId(i as u32),
+                spec.clone(),
+                catalog::surveillance_request().resolve(&spec).unwrap(),
+                100_000,
+                10_000,
+            )
         })
         .collect();
     Instance {
@@ -55,12 +57,14 @@ pub fn conference_instance(cpus: &[f64], tasks: usize) -> Instance {
     let mut inst = small_instance(cpus, 0);
     let spec = catalog::av_spec();
     inst.tasks = (0..tasks)
-        .map(|i| OfflineTask {
-            id: TaskId(i as u32),
-            spec: spec.clone(),
-            request: catalog::video_conference_request().resolve(&spec).unwrap(),
-            input_bytes: 500_000,
-            output_bytes: 50_000,
+        .map(|i| {
+            OfflineTask::new(
+                TaskId(i as u32),
+                spec.clone(),
+                catalog::video_conference_request().resolve(&spec).unwrap(),
+                500_000,
+                50_000,
+            )
         })
         .collect();
     inst

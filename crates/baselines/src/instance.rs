@@ -6,9 +6,9 @@
 //! identical inputs without protocol noise (experiments F1, F2, F4, T3).
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use qosc_core::{EvalConfig, Evaluator, LinearPenalty, RewardModel, TaskInput};
+use qosc_core::{CompiledRequest, EvalConfig, LinearPenalty, RewardModel, TaskInput};
 use qosc_resources::{AdmissionControl, DemandModel, ResourceVector, SchedulingPolicy};
 use qosc_spec::{QosSpec, ResolvedRequest, TaskId};
 
@@ -51,6 +51,46 @@ pub struct OfflineTask {
     pub input_bytes: u64,
     /// Output payload bytes.
     pub output_bytes: u64,
+    /// Lazily-compiled evaluation tables, keyed by the [`EvalConfig`]
+    /// they were compiled under (one compile per task per config, shared
+    /// by every policy and round that prices this task).
+    compiled: Mutex<Option<(EvalConfig, Arc<CompiledRequest>)>>,
+}
+
+impl OfflineTask {
+    /// Creates a task (the compiled evaluator is built on first use).
+    pub fn new(
+        id: TaskId,
+        spec: QosSpec,
+        request: ResolvedRequest,
+        input_bytes: u64,
+        output_bytes: u64,
+    ) -> Self {
+        Self {
+            id,
+            spec,
+            request,
+            input_bytes,
+            output_bytes,
+            compiled: Mutex::new(None),
+        }
+    }
+
+    /// The task's compiled evaluation tables under `eval`. Compiles on
+    /// first use and whenever the config differs from the cached one —
+    /// ablations (T2) legitimately re-price the same instance under
+    /// several [`EvalConfig`]s, so the cache is keyed, not write-once.
+    pub fn compiled(&self, eval: EvalConfig) -> Arc<CompiledRequest> {
+        let mut guard = self.compiled.lock().expect("compile cache poisoned");
+        match guard.as_ref() {
+            Some((cached, compiled)) if *cached == eval => Arc::clone(compiled),
+            _ => {
+                let compiled = Arc::new(CompiledRequest::compile(&self.spec, &self.request, eval));
+                *guard = Some((eval, Arc::clone(&compiled)));
+                compiled
+            }
+        }
+    }
 }
 
 /// A complete allocation problem snapshot.
@@ -154,9 +194,13 @@ pub fn formulate_on_node_with_capacity(
     if task_ids.is_empty() {
         return Some(Vec::new());
     }
+    // One id→task index pass instead of a linear scan per id: joint
+    // formulation over large open sets (256-node sweeps announce every
+    // task to every node, every round) would otherwise go quadratic.
+    let by_id: HashMap<TaskId, &OfflineTask> = instance.tasks.iter().map(|t| (t.id, t)).collect();
     let tasks: Vec<&OfflineTask> = task_ids
         .iter()
-        .map(|id| instance.tasks.iter().find(|t| t.id == *id))
+        .map(|id| by_id.get(id).copied())
         .collect::<Option<Vec<_>>>()?;
     let models: Vec<&Arc<dyn DemandModel>> = tasks
         .iter()
@@ -175,11 +219,11 @@ pub fn formulate_on_node_with_capacity(
     let default_reward = LinearPenalty::default();
     let reward: &dyn RewardModel = node.reward.as_deref().unwrap_or(&default_reward);
     let out = qosc_core::formulate(&inputs, &admission, reward).ok()?;
-    let evaluator = Evaluator::new(instance.eval);
     let mut placements = Vec::with_capacity(tasks.len());
     for (i, t) in tasks.iter().enumerate() {
-        let distance = evaluator
-            .distance_of_levels(&t.spec, &t.request, &out.levels[i])
+        let distance = t
+            .compiled(instance.eval)
+            .distance_of_levels(&out.levels[i])
             .expect("formulated levels are in range");
         let comm_cost = if node.id == instance.requester {
             0.0
@@ -232,6 +276,36 @@ mod tests {
         let inst = small_instance(&[0.5, 1000.0], 1);
         let ids = vec![TaskId(0)];
         assert!(formulate_on_node(&inst, &inst.nodes[0], &ids).is_none());
+    }
+
+    #[test]
+    fn compiled_cache_tracks_eval_config_changes() {
+        // T2 re-prices one instance under several EvalConfigs by mutating
+        // `instance.eval`; the per-task compile cache must follow suit
+        // rather than serve the first config's tables forever.
+        use qosc_core::{DifMode, WeightScheme};
+        let inst = small_instance(&[1000.0], 1);
+        let t = &inst.tasks[0];
+        // Degrade frame_rate to level 5 (value 5, preferred 10).
+        let absolute = t
+            .compiled(EvalConfig::default())
+            .distance_of_levels(&[5, 0, 0, 0])
+            .unwrap();
+        let signed = t
+            .compiled(EvalConfig {
+                weights: WeightScheme::PaperLinear,
+                dif: DifMode::SignedPaperLiteral,
+            })
+            .distance_of_levels(&[5, 0, 0, 0])
+            .unwrap();
+        assert!(absolute > 0.0, "absolute dif penalises undershoot");
+        assert!(signed < 0.0, "signed dif rewards undershoot");
+        // Switching back recompiles again (keyed cache, not write-once).
+        let absolute2 = t
+            .compiled(EvalConfig::default())
+            .distance_of_levels(&[5, 0, 0, 0])
+            .unwrap();
+        assert_eq!(absolute, absolute2);
     }
 
     #[test]

@@ -108,11 +108,12 @@ pub fn greedy_least_loaded(instance: &Instance) -> Allocation {
     let mut alloc = Allocation::default();
     for task in &instance.tasks {
         // Highest remaining CPU first; stable on id for determinism.
+        // total_cmp keeps the sort total even if a node advertises a NaN
+        // capacity (NaN sorts ahead, fails formulation, and is skipped).
         let mut order: Vec<&OfflineNode> = instance.nodes.iter().collect();
         order.sort_by(|a, b| {
             remaining_cpu[&b.id]
-                .partial_cmp(&remaining_cpu[&a.id])
-                .unwrap()
+                .total_cmp(&remaining_cpu[&a.id])
                 .then(a.id.cmp(&b.id))
         });
         let mut placed = false;
@@ -120,19 +121,12 @@ pub fn greedy_least_loaded(instance: &Instance) -> Allocation {
             let set = carried.entry(node.id).or_default();
             if let Some(placements) = try_place(instance, node, set, task.id) {
                 set.push(task.id);
-                // Track CPU actually consumed on this node.
+                // Track CPU actually consumed on this node. Each placement
+                // already carries its demand at the served quality — no
+                // need to re-derive it from the demand model per task.
                 let used: f64 = placements
                     .iter()
-                    .filter_map(|(id, _)| {
-                        instance.tasks.iter().find(|t| t.id == *id).map(|t| {
-                            let model = node.model_for(&t.spec).unwrap();
-                            let lv = &placements.iter().find(|(i, _)| i == id).unwrap().1.levels;
-                            let qv = t.request.quality_vector(&t.spec, lv).unwrap();
-                            model
-                                .demand(&t.spec, &qv)
-                                .get(qosc_resources::ResourceKind::Cpu)
-                        })
-                    })
+                    .map(|(_, p)| p.demand.get(qosc_resources::ResourceKind::Cpu))
                     .sum();
                 remaining_cpu.insert(
                     node.id,
@@ -417,6 +411,28 @@ mod tests {
         assert!(a.complete());
         // First task lands on node 1 (most CPU).
         assert_eq!(a.placements[&qosc_spec::TaskId(0)].node, 1);
+    }
+
+    #[test]
+    fn greedy_survives_nan_capacity() {
+        // A node advertising a NaN CPU capacity used to panic the sort
+        // (partial_cmp().unwrap()); it must instead be skipped.
+        let mut inst = small_instance(&[500.0, 1000.0, 800.0], 2);
+        inst.nodes[2].capacity = ResourceVector::new(f64::NAN, 512.0, 10_000.0, 60.0, 10_000.0);
+        let a = greedy_least_loaded(&inst);
+        assert!(a.complete());
+        assert!(a.placements.values().all(|p| p.node != 2));
+    }
+
+    #[test]
+    fn greedy_matches_formulated_demand_accounting() {
+        // The balance decision must reflect the demand of what each node
+        // actually carries: with two equal nodes, two tasks split 1/1.
+        let inst = small_instance(&[0.5, 400.0, 400.0], 2);
+        let a = greedy_least_loaded(&inst);
+        assert!(a.complete());
+        let nodes: Vec<u32> = a.placements.values().map(|p| p.node).collect();
+        assert_ne!(nodes[0], nodes[1], "load balancing must spread tasks");
     }
 
     #[test]

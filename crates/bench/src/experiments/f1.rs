@@ -13,8 +13,16 @@ use qosc_workloads::{AppTemplate, PopulationConfig};
 use crate::instances::population_instance;
 use crate::table::{f, mean, replicate, Table};
 
-/// Replications per point.
-const REPS: u64 = 30;
+/// Replications per point (fewer at the 128/256-node scale, where each
+/// replication already aggregates hundreds of proposal evaluations).
+fn reps(nodes: usize) -> u64 {
+    if nodes >= 128 {
+        10
+    } else {
+        30
+    }
+}
+
 /// Tasks per service.
 const TASKS: usize = 3;
 
@@ -32,8 +40,8 @@ pub fn run() -> Table {
         ],
     );
     let population = PopulationConfig::constrained();
-    for n in [1usize, 2, 4, 8, 16, 32] {
-        let results = replicate(REPS, |seed| {
+    for n in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+        let results = replicate(reps(n), |seed| {
             let inst = population_instance(
                 &population,
                 n,

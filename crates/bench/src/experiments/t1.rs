@@ -6,14 +6,24 @@
 //! formation latency.
 
 use qosc_core::NegoEvent;
-use qosc_netsim::{Area, SimTime};
+use qosc_netsim::SimTime;
 use qosc_workloads::{AppTemplate, PopulationConfig, Scenario, ScenarioConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::table::{f, mean, replicate, Table};
 
-const REPS: u64 = 8;
+/// Replications per point: full DES runs get expensive past 64 nodes
+/// (every node formulates and proposes), so the tail of the sweep trades
+/// replications for scale.
+fn reps(nodes: usize) -> u64 {
+    if nodes >= 128 {
+        3
+    } else {
+        8
+    }
+}
+
 const TASKS: usize = 2;
 
 /// Runs T1 and returns its table.
@@ -28,8 +38,8 @@ pub fn run() -> Table {
             "formed_ratio",
         ],
     );
-    for n in [2usize, 4, 8, 16, 32, 64] {
-        let results = replicate(REPS, |seed| {
+    for n in [2usize, 4, 8, 16, 32, 64, 128, 256] {
+        let results = replicate(reps(n), |seed| {
             let organizer = qosc_core::OrganizerConfig {
                 monitor: false, // formation cost only
                 ..Default::default()
@@ -41,14 +51,11 @@ pub fn run() -> Table {
                 ..Default::default()
             };
             let config = ScenarioConfig {
-                nodes: n,
-                // Dense square so every node hears the CFP.
-                area: Area::new(30.0, 30.0),
                 organizer,
                 provider,
                 population: PopulationConfig::pure_adhoc(),
-                seed: 0x71_0000 + seed * 17 + n as u64,
-                ..Default::default()
+                // Dense preset: every node hears the CFP.
+                ..ScenarioConfig::dense(n, 0x71_0000 + seed * 17 + n as u64)
             };
             let mut scenario = Scenario::build(&config);
             let mut rng = ChaCha8Rng::seed_from_u64(0x71_DDDD + seed);

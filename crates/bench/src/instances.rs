@@ -58,13 +58,13 @@ pub fn population_instance(
     let tasks = (0..n_tasks)
         .map(|i| {
             let (input_bytes, output_bytes) = template.payload(&mut rng);
-            OfflineTask {
-                id: TaskId(i as u32),
-                spec: spec.clone(),
-                request: resolved.clone(),
+            OfflineTask::new(
+                TaskId(i as u32),
+                spec.clone(),
+                resolved.clone(),
                 input_bytes,
                 output_bytes,
-            }
+            )
         })
         .collect();
     Instance {

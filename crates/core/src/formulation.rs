@@ -123,6 +123,50 @@ pub fn local_reward(request: &ResolvedRequest, levels: &[usize], model: &dyn Rew
     n - penalty_sum
 }
 
+/// Per-task compiled penalty ladders: `rows[flat][lvl]` caches
+/// [`RewardModel::penalty`] for every requested attribute and ladder
+/// level. The degradation loop of [`formulate`] probes candidate steps
+/// thousands of times over the same `(rank, level)` grid; compiling the
+/// grid once per task shares the rank-weight products with the whole run
+/// instead of re-deriving them (twice!) per probed candidate.
+struct PenaltyTable {
+    /// `rows[flat][lvl]` = penalty of serving attribute `flat` at `lvl`.
+    rows: Vec<Vec<f64>>,
+    /// Number of requested attributes (eq. 1's `n`).
+    attr_count: usize,
+}
+
+impl PenaltyTable {
+    fn new(request: &ResolvedRequest, model: &dyn RewardModel) -> Self {
+        let dim_count = request.dim_count();
+        let rows = request
+            .iter_attrs()
+            .map(|((k, i), pref)| {
+                let attr_count = request.dimensions[k].attributes.len();
+                let len = pref.levels.len();
+                (0..len)
+                    .map(|lvl| model.penalty(k, dim_count, i, attr_count, lvl, len))
+                    .collect()
+            })
+            .collect();
+        Self {
+            rows,
+            attr_count: request.attr_count(),
+        }
+    }
+
+    /// Eq. 1 over the cached grid — identical to [`local_reward`].
+    fn reward(&self, levels: &[usize]) -> f64 {
+        let mut penalty_sum = 0.0;
+        for (row, &lvl) in self.rows.iter().zip(levels.iter()) {
+            if lvl > 0 {
+                penalty_sum += row[lvl];
+            }
+        }
+        self.attr_count as f64 - penalty_sum
+    }
+}
+
 /// One task to formulate for: its spec, resolved request and demand model.
 pub struct TaskInput<'a> {
     /// Application QoS spec.
@@ -180,7 +224,10 @@ pub fn formulate(
         .iter()
         .map(|t| vec![0usize; t.request.attr_count()])
         .collect();
-    let ladders: Vec<Vec<usize>> = tasks.iter().map(|t| t.request.ladder_lengths()).collect();
+    let tables: Vec<PenaltyTable> = tasks
+        .iter()
+        .map(|t| PenaltyTable::new(t.request, reward_model))
+        .collect();
     let mut degradations = 0u32;
 
     // Incremental state: a degradation step only changes one task's
@@ -210,10 +257,10 @@ pub fn formulate(
         // Acceptance test: schedulable AND dependency-consistent.
         let deps_ok = deps_ok_v.iter().all(|&x| x);
         if deps_ok && admission.schedulable_total(&total, tasks.len()) {
-            let reward = tasks
+            let reward = tables
                 .iter()
                 .zip(levels.iter())
-                .map(|(t, lv)| local_reward(t.request, lv, reward_model))
+                .map(|(t, lv)| t.reward(lv))
                 .sum();
             return Ok(Formulated {
                 levels,
@@ -224,20 +271,15 @@ pub fn formulate(
         }
 
         // Step 2: find the (task, attribute) whose one-step degradation
-        // loses the least reward.
+        // loses the least reward, probing the compiled penalty grid.
         let mut best: Option<(usize, usize, f64)> = None; // (task, flat attr, decrease)
-        for (ti, t) in tasks.iter().enumerate() {
-            let dim_count = t.request.dim_count();
-            for (flat, ((k, i), pref)) in t.request.iter_attrs().enumerate() {
+        for (ti, table) in tables.iter().enumerate() {
+            for (flat, row) in table.rows.iter().enumerate() {
                 let lvl = levels[ti][flat];
-                let len = ladders[ti][flat];
-                if lvl + 1 >= len {
+                if lvl + 1 >= row.len() {
                     continue; // already at Q_kn
                 }
-                let attr_count = t.request.dimensions[k].attributes.len();
-                let before = reward_model.penalty(k, dim_count, i, attr_count, lvl, len);
-                let after = reward_model.penalty(k, dim_count, i, attr_count, lvl + 1, len);
-                let decrease = after - before;
+                let decrease = row[lvl + 1] - row[lvl];
                 let better = match best {
                     None => true,
                     Some((_, _, d)) => decrease < d - 1e-15,
@@ -245,7 +287,6 @@ pub fn formulate(
                 if better {
                     best = Some((ti, flat, decrease));
                 }
-                let _ = pref;
             }
         }
         match best {

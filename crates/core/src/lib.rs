@@ -5,6 +5,10 @@
 //! * [`Evaluator`] — the multi-attribute proposal evaluation of §6
 //!   (equations 2–5): rank-derived weights, normalised continuous
 //!   differences, Quality-Index positional differences, admissibility.
+//! * [`CompiledRequest`] — the same metric compiled once per resolved
+//!   request (flat `w_k·w_i` weight products, domain normalizers,
+//!   Quality-Index position tables) with batched scoring
+//!   ([`CompiledRequest::evaluate_batch`]) for the hot paths.
 //! * [`formulate`] — the local proposal-formulation heuristic of §5 with
 //!   the eq. 1 reward ([`LinearPenalty`], [`QuadraticPenalty`]).
 //! * [`OrganizerEngine`] / [`ProviderEngine`] — the §4.2 negotiation
@@ -75,6 +79,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod compiled;
 mod evaluation;
 mod formation;
 mod formulation;
@@ -84,6 +89,7 @@ mod protocol;
 mod provider;
 mod simglue;
 
+pub use compiled::CompiledRequest;
 pub use evaluation::{DifMode, EvalConfig, Evaluator, Inadmissible, WeightScheme};
 pub use formation::{select_winners, Candidate, Criterion, Selection, TieBreak};
 pub use formulation::{

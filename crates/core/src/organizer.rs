@@ -32,9 +32,10 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use qosc_netsim::{SimDuration, SimTime};
-use qosc_spec::{ResolvedRequest, ServiceDef, SpecError, TaskId};
+use qosc_spec::{ServiceDef, SpecError, TaskId};
 
-use crate::evaluation::{EvalConfig, Evaluator};
+use crate::compiled::CompiledRequest;
+use crate::evaluation::EvalConfig;
 use crate::formation::{select_winners, Candidate, TieBreak};
 use crate::metrics::{NegoEvent, NegotiationMetrics, TaskOutcome};
 use crate::protocol::{
@@ -89,7 +90,10 @@ struct Nego {
     state: State,
     round: u32,
     announcements: BTreeMap<TaskId, TaskAnnouncement>,
-    resolved: BTreeMap<TaskId, ResolvedRequest>,
+    /// Per-task compiled evaluation tables (weights, normalizers,
+    /// Quality-Index positions), built once when the service starts so
+    /// every incoming proposal prices without re-walking the spec.
+    compiled: BTreeMap<TaskId, CompiledRequest>,
     /// Tasks solicited in the current round.
     open: BTreeSet<TaskId>,
     /// Evaluated admissible candidates per open task.
@@ -111,19 +115,16 @@ pub struct OrganizerEngine {
     config: OrganizerConfig,
     negotiations: HashMap<NegoId, Nego>,
     next_seq: u32,
-    evaluator: Evaluator,
 }
 
 impl OrganizerEngine {
     /// Creates an organizer for node `id`.
     pub fn new(id: Pid, config: OrganizerConfig) -> Self {
-        let evaluator = Evaluator::new(config.eval);
         Self {
             id,
             config,
             negotiations: HashMap::new(),
             next_seq: 0,
-            evaluator,
         }
     }
 
@@ -163,10 +164,13 @@ impl OrganizerEngine {
             seq: self.next_seq,
         };
         let mut announcements = BTreeMap::new();
-        let mut resolved = BTreeMap::new();
+        let mut compiled = BTreeMap::new();
         for (tid, task) in service.iter() {
             let r = task.resolve()?;
-            resolved.insert(tid, r);
+            compiled.insert(
+                tid,
+                CompiledRequest::compile(&task.spec, &r, self.config.eval),
+            );
             announcements.insert(
                 tid,
                 TaskAnnouncement {
@@ -184,7 +188,7 @@ impl OrganizerEngine {
             state: State::Collecting,
             round: 0,
             announcements,
-            resolved,
+            compiled,
             open,
             candidates: BTreeMap::new(),
             pending: BTreeMap::new(),
@@ -264,15 +268,15 @@ impl OrganizerEngine {
             if !n.open.contains(&p.task) {
                 continue;
             }
-            let Some(request) = n.resolved.get(&p.task) else {
+            let Some(compiled) = n.compiled.get(&p.task) else {
                 continue;
             };
             let ann = &n.announcements[&p.task];
-            // Step 3 precondition: admissibility (§6).
-            if self.evaluator.admissible(request, &p.offered).is_err() {
+            // Step 3 precondition + eq. 2 scoring in one fused pass (§6);
+            // inadmissible proposals are discarded.
+            let Some(distance) = compiled.score(&p.offered) else {
                 continue;
-            }
-            let distance = self.evaluator.distance(&ann.spec, request, &p.offered);
+            };
             let comm_cost = if from == self.id {
                 0.0
             } else if p.link_kbps > 0.0 {

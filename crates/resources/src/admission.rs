@@ -78,11 +78,17 @@ impl AdmissionControl {
     }
 
     /// Same predicate given a pre-summed demand and the task count.
+    ///
+    /// NaN-safe: a NaN anywhere (capacity or demand) rejects. A plain
+    /// `total > bound` test silently *admits* under NaN (the comparison is
+    /// false), which let nodes advertising a corrupt capacity win every
+    /// task at preferred quality.
     pub fn schedulable_total(&self, total: &ResourceVector, task_count: usize) -> bool {
         // CPU: utilisation bound per policy.
         let cpu_cap = self.capacity.get(ResourceKind::Cpu);
         let cpu_bound = self.policy.bound(task_count) * cpu_cap;
-        if total.get(ResourceKind::Cpu) > cpu_bound + 1e-9 {
+        let cpu = total.get(ResourceKind::Cpu);
+        if cpu.is_nan() || cpu_bound.is_nan() || cpu > cpu_bound + 1e-9 {
             return false;
         }
         // Rate resources: plain capacity.
@@ -92,7 +98,9 @@ impl AdmissionControl {
             ResourceKind::IoBus,
             ResourceKind::Energy,
         ] {
-            if total.get(k) > self.capacity.get(k) + 1e-9 {
+            let t = total.get(k);
+            let cap = self.capacity.get(k);
+            if t.is_nan() || cap.is_nan() || t > cap + 1e-9 {
                 return false;
             }
         }
@@ -173,5 +181,21 @@ mod tests {
     fn empty_task_set_is_schedulable() {
         let ac = AdmissionControl::new(SchedulingPolicy::RateMonotonic, cap());
         assert!(ac.schedulable(&[]));
+    }
+
+    #[test]
+    fn nan_capacity_or_demand_rejects() {
+        let nan_cap = ResourceVector::new(f64::NAN, 256.0, 1000.0, 40.0, 500.0);
+        let ac = AdmissionControl::new(SchedulingPolicy::Edf, nan_cap);
+        let d = ResourceVector::single(ResourceKind::Cpu, 1.0);
+        assert!(!ac.schedulable(&[d]));
+        let ac = AdmissionControl::new(SchedulingPolicy::Edf, cap());
+        let nan_d = ResourceVector::single(ResourceKind::Memory, f64::NAN);
+        assert!(!ac.schedulable(&[nan_d]));
+        // The empty set stays schedulable even on a NaN-capacity node only
+        // if nothing is demanded of the NaN kind — total 0.0 vs NaN cap
+        // still rejects, by design.
+        let ac = AdmissionControl::new(SchedulingPolicy::Edf, nan_cap);
+        assert!(!ac.schedulable(&[]));
     }
 }

@@ -50,13 +50,13 @@ fn main() {
                 node(0, DeviceClass::Phone),  // the requester
                 node(1, DeviceClass::Laptop), // a strong neighbour
             ],
-            tasks: vec![OfflineTask {
-                id: TaskId(0),
-                spec: spec.clone(),
-                request: request.clone(),
-                input_bytes: bytes,
-                output_bytes: bytes / 4,
-            }],
+            tasks: vec![OfflineTask::new(
+                TaskId(0),
+                spec.clone(),
+                request.clone(),
+                bytes,
+                bytes / 4,
+            )],
             eval: EvalConfig::default(),
         };
         let a = protocol_emulation(&inst, &TieBreak::default());

@@ -19,7 +19,8 @@ fn cpu_vec() -> impl Strategy<Value = Vec<f64>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Default config: 64 cases locally, PROPTEST_CASES=256 in CI.
+    #![proptest_config(ProptestConfig::default())]
 
     /// Whatever the capacities, a formulated configuration is schedulable
     /// and within the request's ladders, and its reward never exceeds the

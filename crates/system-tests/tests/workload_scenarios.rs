@@ -4,7 +4,7 @@
 use qosc_core::NegoEvent;
 use qosc_netsim::SimTime;
 use qosc_system_tests::dense_scenario;
-use qosc_workloads::{AppTemplate, PoissonArrivals};
+use qosc_workloads::{AppTemplate, PoissonArrivals, Scenario, ScenarioConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -79,6 +79,33 @@ fn concurrent_negotiations_do_not_overcommit_any_node() {
         })
         .count();
     assert!(settled >= 2);
+}
+
+#[test]
+fn dense_256_node_population_forms_a_coalition() {
+    // The scale the compiled batch evaluator opened: one negotiation in a
+    // fully-connected 256-node population. Every capable node proposes,
+    // so the organizer prices hundreds of proposals per task.
+    let mut s = Scenario::build(&ScenarioConfig::dense(256, 0x256));
+    let mut rng = ChaCha8Rng::seed_from_u64(0x256);
+    let svc = AppTemplate::Surveillance.service("svc", 3, &mut rng);
+    s.submit(0, svc, SimTime(1_000));
+    s.run_until(SimTime(10_000_000));
+    assert!(
+        s.host
+            .events
+            .iter()
+            .any(|e| matches!(e.event, NegoEvent::Formed { .. })),
+        "a 256-node dense population must form: {:?}",
+        s.host.events
+    );
+    // The CFP reached (essentially) the whole population: the message
+    // count is dominated by the per-node proposal replies.
+    assert!(
+        s.sim.stats().messages_sent() >= 200,
+        "expected a population-wide proposal wave, got {} messages",
+        s.sim.stats().messages_sent()
+    );
 }
 
 #[test]

@@ -58,6 +58,24 @@ impl Default for ScenarioConfig {
     }
 }
 
+impl ScenarioConfig {
+    /// Dense-population preset: `nodes` devices packed into a 30 m square,
+    /// comfortably inside the default radio range, so every node hears
+    /// every CFP and every negotiation sees the full population's
+    /// proposals. This is the preset the large F-series sweeps use to
+    /// drive the batched evaluation path at 128–256 nodes; override any
+    /// other field with struct-update syntax
+    /// (`ScenarioConfig { population, ..ScenarioConfig::dense(256, seed) }`).
+    pub fn dense(nodes: usize, seed: u64) -> Self {
+        Self {
+            nodes,
+            area: Area::new(30.0, 30.0),
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
 /// An assembled simulation ready to accept services.
 pub struct Scenario {
     /// The network simulator.

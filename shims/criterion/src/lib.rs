@@ -1,9 +1,17 @@
 //! Offline shim for `criterion`: enough of the API to compile and run
-//! the workspace's benches. Measurement is a plain wall-clock mean over
-//! `sample_size` timed batches — no warm-up tuning, outlier analysis, or
-//! HTML reports. Results print one line per benchmark.
+//! the workspace's benches. Each benchmark runs one discarded warm-up
+//! batch followed by `sample_size` timed batches and reports
+//! mean/median/stddev/min — no adaptive warm-up tuning, outlier analysis,
+//! or HTML reports.
+//!
+//! Every benchmark additionally emits one machine-readable JSON line of
+//! the form
+//! `{"benchmark":…,"mean_ns":…,"median_ns":…,"stddev_ns":…,"min_ns":…,"samples":…}`
+//! on stdout; set `BENCH_JSON=path/to/BENCH_<suite>.json` to also append
+//! the lines to a file, so B1–B5 regressions can be diffed run-over-run.
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::Instant;
 
 pub use std::hint::black_box;
@@ -153,15 +161,90 @@ impl Bencher {
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
     let mut b = Bencher::default();
-    // Warm-up sample, discarded.
+    // Warm-up sample, discarded (caches, branch predictors, allocator).
     f(&mut b);
     b.samples_ns.clear();
     for _ in 0..samples.max(1) {
         f(&mut b);
     }
-    let n = b.samples_ns.len().max(1) as u128;
-    let mean = b.samples_ns.iter().sum::<u128>() / n;
-    println!("{label:<60} {:>12} ns/iter (mean of {n})", mean);
+    let stats = Stats::of(&mut b.samples_ns);
+    println!(
+        "{label:<60} mean {:>10} ns  median {:>10} ns  min {:>10} ns  stddev {:>8.0} ns  ({} samples)",
+        stats.mean, stats.median, stats.min, stats.stddev, stats.samples
+    );
+    let json = stats.json_line(label);
+    println!("{json}");
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        let path = std::path::Path::new(&path);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(mut file) => {
+                let _ = writeln!(file, "{json}");
+            }
+            Err(e) => eprintln!("BENCH_JSON: cannot append to {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Summary statistics over one benchmark's timed samples.
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    mean: u128,
+    median: u128,
+    min: u128,
+    stddev: f64,
+    samples: usize,
+}
+
+impl Stats {
+    fn of(samples_ns: &mut [u128]) -> Self {
+        samples_ns.sort_unstable();
+        let n = samples_ns.len().max(1);
+        let mean = samples_ns.iter().sum::<u128>() / n as u128;
+        let median = if samples_ns.is_empty() {
+            0
+        } else if n % 2 == 1 {
+            samples_ns[n / 2]
+        } else {
+            (samples_ns[n / 2 - 1] + samples_ns[n / 2]) / 2
+        };
+        let min = samples_ns.first().copied().unwrap_or(0);
+        let var = samples_ns
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        Self {
+            mean,
+            median,
+            min,
+            stddev: var.sqrt(),
+            samples: samples_ns.len(),
+        }
+    }
+
+    fn json_line(&self, label: &str) -> String {
+        let escaped: String = label
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        format!(
+            "{{\"benchmark\":\"{escaped}\",\"mean_ns\":{},\"median_ns\":{},\"stddev_ns\":{:.1},\"min_ns\":{},\"samples\":{}}}",
+            self.mean, self.median, self.stddev, self.min, self.samples
+        )
+    }
 }
 
 /// Bundles benchmark functions into one runner, mirroring criterion.

@@ -15,9 +15,17 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
-    /// 64 cases — smaller than upstream's 256 to keep the offline test
-    /// suite fast; raise per-block via `#![proptest_config(..)]`.
+    /// Case count from the `PROPTEST_CASES` environment variable, falling
+    /// back to 64 — smaller than upstream's 256 to keep the offline test
+    /// suite fast locally. CI exports `PROPTEST_CASES=256` so the hot
+    /// invariants get upstream-strength coverage there; raise per-block
+    /// via `#![proptest_config(..)]` when a property needs more.
     fn default() -> Self {
-        Self { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(64);
+        Self { cases }
     }
 }
