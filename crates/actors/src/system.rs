@@ -248,6 +248,62 @@ mod tests {
     }
 
     #[test]
+    fn send_after_timers_fire_in_delay_order() {
+        // The runtime backends encode protocol deadlines as send_after
+        // timers; a 10 ms timer must beat a 150 ms one regardless of the
+        // order they were armed in.
+        let (tx, rx) = unbounded();
+        let mut sys = ActorSystem::new();
+        let addr = sys.spawn(
+            "counter",
+            Counter {
+                total: 0,
+                report: tx,
+            },
+        );
+        sys.send_after(addr.clone(), 100, Duration::from_millis(150));
+        sys.send_after(addr.clone(), 1, Duration::from_millis(10));
+        sys.send_after(addr, 10, Duration::from_millis(60));
+        // Counter reports its running total: 1, then 1+10, then 1+10+100.
+        let totals: Vec<u64> = (0..3)
+            .map(|_| rx.recv_timeout(Duration::from_secs(2)).unwrap())
+            .collect();
+        assert_eq!(totals, vec![1, 11, 111]);
+        sys.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_pending_timers_neither_blocks_nor_panics() {
+        // Timers outliving the system must not stall shutdown (the timer
+        // threads are detached) and their late sends must be dropped
+        // silently once the mailbox is gone.
+        let (tx, rx) = unbounded();
+        let mut sys = ActorSystem::new();
+        let addr = sys.spawn(
+            "counter",
+            Counter {
+                total: 0,
+                report: tx,
+            },
+        );
+        sys.send_after(addr.clone(), 7, Duration::from_millis(80));
+        let begun = std::time::Instant::now();
+        sys.shutdown();
+        assert!(
+            begun.elapsed() < Duration::from_millis(80),
+            "shutdown must not wait for pending timers"
+        );
+        assert_eq!(sys.actor_count(), 0);
+        // The timer fires into a dead mailbox: nothing is delivered and
+        // nothing panics.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(200)),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected)
+        );
+        assert!(!addr.send(1));
+    }
+
+    #[test]
     fn actors_can_message_each_other() {
         // Ping-pong between two actors until 10, then report.
         struct Pong {

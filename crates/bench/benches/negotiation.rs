@@ -24,8 +24,7 @@ fn run_negotiation(nodes: usize, seed: u64) -> usize {
     scenario.submit(0, svc, SimTime(1_000));
     scenario.run_until(SimTime(2_000_000));
     scenario
-        .host
-        .events
+        .events()
         .iter()
         .filter(|e| matches!(e.event, NegoEvent::Formed { .. }))
         .count()

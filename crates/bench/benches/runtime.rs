@@ -1,0 +1,58 @@
+//! B6 — backend overhead of the unified runtime API: the same dense
+//! 64-node negotiation on the zero-latency `DirectRuntime` vs the full
+//! DES (`DesRuntime` with geometry, latency modelling and per-delivery
+//! bookkeeping). The gap is the price of the network model itself; the
+//! protocol work (formulation, evaluation, selection) is identical on
+//! both by the cross-backend equivalence test.
+//!
+//! Emits one JSON line per bench via the criterion shim; set
+//! `BENCH_JSON=<path>` to append them for run-over-run diffing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qosc_core::NegoEvent;
+use qosc_netsim::SimTime;
+use qosc_workloads::{AppTemplate, Backend, PopulationConfig, ScenarioConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const NODES: usize = 64;
+
+fn run_backend(backend: Backend, seed: u64) -> usize {
+    let config = ScenarioConfig {
+        population: PopulationConfig::default(),
+        ..ScenarioConfig::dense(NODES, seed)
+    };
+    let mut rt = config.build_backend(backend);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let svc = AppTemplate::Surveillance.service("svc", 2, &mut rng);
+    rt.submit(0, svc, SimTime(1_000)).expect("node 0 exists");
+    rt.run(SimTime(2_000_000));
+    rt.events()
+        .iter()
+        .filter(|e| matches!(e.event, NegoEvent::Formed { .. }))
+        .count()
+}
+
+fn bench_runtime_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_backend");
+    g.sample_size(20);
+    for backend in [Backend::Direct, Backend::Des] {
+        let name = match backend {
+            Backend::Direct => "direct_dense",
+            Backend::Des => "des_dense",
+            Backend::Actor => unreachable!(),
+        };
+        g.bench_with_input(BenchmarkId::new(name, NODES), &backend, |b, &backend| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_backend(backend, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime_backends);
+criterion_main!(benches);

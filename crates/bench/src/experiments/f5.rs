@@ -55,17 +55,15 @@ pub fn run() -> Table {
                 scenario.submit(0, svc, SimTime(10_000));
                 scenario.run_until(SimTime(60_000_000));
                 let formed = scenario
-                    .host
-                    .events
+                    .events()
                     .iter()
                     .any(|e| matches!(e.event, NegoEvent::Formed { .. }));
                 let failures = scenario
-                    .host
-                    .events
+                    .events()
                     .iter()
                     .filter(|e| matches!(e.event, NegoEvent::MemberFailed { .. }))
                     .count();
-                let msgs = scenario.sim.stats().messages_sent();
+                let msgs = scenario.net_stats().messages_sent();
                 (formed as u64 as f64, failures as f64, msgs as f64)
             });
             table.row(vec![

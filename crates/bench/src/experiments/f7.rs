@@ -50,11 +50,11 @@ pub fn run() -> Table {
             let svc = AppTemplate::Surveillance.service("svc", 2, &mut rng);
             scenario.submit(0, svc, SimTime(1_000));
             scenario.run_until(SimTime(30_000_000));
-            let formed = scenario.host.events.iter().find_map(|e| match &e.event {
+            let formed = scenario.events().iter().find_map(|e| match &e.event {
                 NegoEvent::Formed { metrics, .. } => Some(metrics.clone()),
                 _ => None,
             });
-            let msgs = scenario.sim.stats().messages_sent() as f64;
+            let msgs = scenario.net_stats().messages_sent() as f64;
             match formed {
                 Some(m) => (1.0, m.mean_distance(), m.declines as f64, msgs),
                 None => (0.0, f64::NAN, 0.0, msgs),

@@ -2,7 +2,7 @@
 //!
 //! The paper has no empirical tables/figures; every experiment here
 //! operationalises one of its quantitative claims. Each module's `run()`
-//! returns a [`Table`](crate::table::Table) that the `experiments` binary
+//! returns a [`Table`](crate::table) that the `experiments` binary
 //! prints and writes to `results/*.csv`.
 
 pub mod f1;

@@ -2,12 +2,18 @@
 //!
 //! Paper §4.2's algorithm costs, per round: 1 CFP broadcast, one proposal
 //! per capable neighbour, one award + one accept per task. We measure the
-//! DES totals against that analytic expectation and record the simulated
-//! formation latency.
+//! totals against that analytic expectation and record the formation
+//! latency.
+//!
+//! Since PR 3 the experiment drives one backend-agnostic scenario
+//! description through the unified `qosc_core::runtime` API and runs it on
+//! *both* the DES (geometry + latency) and the zero-latency Direct
+//! backend: identical message counts across the two are themselves a
+//! protocol-cost claim (the network model adds delay, not chatter).
 
 use qosc_core::NegoEvent;
 use qosc_netsim::SimTime;
-use qosc_workloads::{AppTemplate, PopulationConfig, Scenario, ScenarioConfig};
+use qosc_workloads::{AppTemplate, Backend, PopulationConfig, ScenarioConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -26,16 +32,35 @@ fn reps(nodes: usize) -> u64 {
 
 const TASKS: usize = 2;
 
+/// One replication of the scenario description on one backend: returns
+/// (messages sent, formation latency in ms if formed).
+fn run_backend(config: &ScenarioConfig, backend: Backend, seed: u64) -> (f64, Option<f64>) {
+    let mut rt = config.build_backend(backend);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x71_DDDD + seed);
+    let svc = AppTemplate::Surveillance.service("svc", TASKS, &mut rng);
+    rt.submit(0, svc, SimTime(1_000)).expect("node 0 exists");
+    rt.run(SimTime(30_000_000));
+    let formed = rt.events().iter().find_map(|e| match &e.event {
+        NegoEvent::Formed { metrics, .. } => metrics
+            .formation_latency()
+            .map(|l| l.as_secs_f64() * 1000.0),
+        _ => None,
+    });
+    (rt.messages_sent() as f64, formed)
+}
+
 /// Runs T1 and returns its table.
 pub fn run() -> Table {
     let mut table = Table::new(
         "T1: messages & formation latency vs pool size (2 tasks, monitoring off)",
         &[
             "nodes",
-            "mean_messages",
+            "des_messages",
+            "direct_messages",
             "analytic_messages",
-            "mean_latency_ms",
-            "formed_ratio",
+            "des_latency_ms",
+            "direct_latency_ms",
+            "des_formed_ratio",
         ],
     );
     for n in [2usize, 4, 8, 16, 32, 64, 128, 256] {
@@ -57,33 +82,29 @@ pub fn run() -> Table {
                 // Dense preset: every node hears the CFP.
                 ..ScenarioConfig::dense(n, 0x71_0000 + seed * 17 + n as u64)
             };
-            let mut scenario = Scenario::build(&config);
-            let mut rng = ChaCha8Rng::seed_from_u64(0x71_DDDD + seed);
-            let svc = AppTemplate::Surveillance.service("svc", TASKS, &mut rng);
-            scenario.submit(0, svc, SimTime(1_000));
-            scenario.run_until(SimTime(30_000_000));
-            let formed = scenario.host.events.iter().find_map(|e| match &e.event {
-                NegoEvent::Formed { metrics, .. } => metrics
-                    .formation_latency()
-                    .map(|l| l.as_secs_f64() * 1000.0),
-                _ => None,
-            });
-            let msgs = scenario.sim.stats().messages_sent() as f64;
-            (msgs, formed)
+            let des = run_backend(&config, Backend::Des, seed);
+            let direct = run_backend(&config, Backend::Direct, seed);
+            (des.0, direct.0, des.1, direct.1)
         });
-        let msgs: Vec<f64> = results.iter().map(|r| r.0).collect();
-        let latencies: Vec<f64> = results.iter().filter_map(|r| r.1).collect();
-        let formed_ratio = latencies.len() as f64 / results.len() as f64;
+        let des_msgs: Vec<f64> = results.iter().map(|r| r.0).collect();
+        let direct_msgs: Vec<f64> = results.iter().map(|r| r.1).collect();
+        let des_lat: Vec<f64> = results.iter().filter_map(|r| r.2).collect();
+        let direct_lat: Vec<f64> = results.iter().filter_map(|r| r.3).collect();
+        // Formation success on the DES side (the Direct backend cannot
+        // fail for network reasons, so its ratio is not a useful column).
+        let des_formed_ratio = des_lat.len() as f64 / results.len() as f64;
         // Analytic single-round cost: 1 CFP + n proposals (every node,
         // including the organizer, is capable in this dense scenario)
         // + TASKS awards + TASKS accepts.
         let analytic = 1.0 + n as f64 + 2.0 * TASKS as f64;
         table.row(vec![
             n.to_string(),
-            f(mean(&msgs)),
+            f(mean(&des_msgs)),
+            f(mean(&direct_msgs)),
             f(analytic),
-            f(mean(&latencies)),
-            f(formed_ratio),
+            f(mean(&des_lat)),
+            f(mean(&direct_lat)),
+            f(des_formed_ratio),
         ]);
     }
     table

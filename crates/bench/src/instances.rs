@@ -1,4 +1,7 @@
-//! Bridges populations/templates into offline allocation instances.
+//! Bridges populations/templates into offline allocation instances —
+//! and the same instances into live runtime scenarios, so an experiment
+//! can compare the closed-form emulation against the actual protocol on
+//! any `qosc_core::runtime` backend.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -7,9 +10,12 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use qosc_baselines::{Instance, OfflineNode, OfflineTask};
-use qosc_core::{EvalConfig, LinearPenalty, QuadraticPenalty, RewardModel};
+use qosc_core::{
+    CoalitionNode, DirectRuntime, EvalConfig, LinearPenalty, OrganizerConfig, OrganizerEngine,
+    ProviderConfig, ProviderEngine, QuadraticPenalty, RewardModel, Runtime,
+};
 use qosc_resources::{ResourceKind, SchedulingPolicy};
-use qosc_spec::TaskId;
+use qosc_spec::{ServiceDef, TaskDef, TaskId};
 use qosc_workloads::{AppTemplate, PopulationConfig};
 use std::sync::Arc as StdArc;
 
@@ -75,6 +81,65 @@ pub fn population_instance(
     }
 }
 
+/// Re-assembles an offline [`Instance`] as a zero-latency runtime
+/// scenario: one [`CoalitionNode`] per [`OfflineNode`] (the requester
+/// also organizes, with the instance's evaluation config and monitoring
+/// off — formation cost only), same capacities, link bandwidths, demand
+/// models and per-node reward policies.
+pub fn instance_runtime(inst: &Instance) -> DirectRuntime {
+    let mut rt = DirectRuntime::new();
+    for n in &inst.nodes {
+        let reward: Arc<dyn RewardModel> = n
+            .reward
+            .clone()
+            .unwrap_or_else(|| Arc::new(LinearPenalty::default()));
+        let mut provider = ProviderEngine::new(
+            n.id,
+            n.capacity,
+            ProviderConfig {
+                link_kbps: n.link_kbps,
+                policy: n.policy,
+                reward,
+                ..Default::default()
+            },
+        );
+        for (name, model) in &n.models {
+            provider.register_demand_model(name.clone(), Arc::clone(model));
+        }
+        let mut node = CoalitionNode::new(n.id).with_provider(provider);
+        if n.id == inst.requester {
+            node = node.with_organizer(OrganizerEngine::new(
+                n.id,
+                OrganizerConfig {
+                    eval: inst.eval,
+                    monitor: false,
+                    ..Default::default()
+                },
+            ));
+        }
+        rt.add_node(node).expect("instance node ids are unique");
+    }
+    rt
+}
+
+/// The instance's task list as a [`ServiceDef`] over the template's
+/// (unresolved) request, preserving each task's payload sizes.
+pub fn instance_service(inst: &Instance, template: AppTemplate, name: &str) -> ServiceDef {
+    ServiceDef::new(
+        name,
+        inst.tasks
+            .iter()
+            .map(|t| TaskDef {
+                name: format!("t{}", t.id.0),
+                spec: t.spec.clone(),
+                request: template.request(),
+                input_bytes: t.input_bytes,
+                output_bytes: t.output_bytes,
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +166,30 @@ mod tests {
         );
         assert_eq!(inst.nodes[3].capacity, inst2.nodes[3].capacity);
         assert_eq!(inst.tasks[2].input_bytes, inst2.tasks[2].input_bytes);
+    }
+
+    #[test]
+    fn instance_runs_as_a_protocol_scenario() {
+        use qosc_core::NegoEvent;
+        use qosc_netsim::SimTime;
+        let inst = population_instance(
+            &PopulationConfig::default(),
+            5,
+            AppTemplate::Surveillance,
+            2,
+            7,
+        );
+        let mut rt = instance_runtime(&inst);
+        let svc = instance_service(&inst, AppTemplate::Surveillance, "svc");
+        rt.submit(inst.requester, svc, SimTime(1_000)).unwrap();
+        rt.run(SimTime(30_000_000));
+        assert!(
+            rt.events().iter().any(|e| matches!(
+                e.event,
+                NegoEvent::Formed { .. } | NegoEvent::FormationIncomplete { .. }
+            )),
+            "the protocol must settle on the instance: {:?}",
+            rt.events()
+        );
     }
 }

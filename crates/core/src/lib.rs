@@ -18,39 +18,44 @@
 //! * [`select_winners`] — winner selection with the paper's three-level
 //!   tie-break (evaluation value ≻ communication cost ≻ distinct members),
 //!   fully configurable for ablations ([`TieBreak`]).
-//! * [`SimHost`] — glue that runs the engines inside the `qosc-netsim`
-//!   ad-hoc network simulator (the live threaded transport is assembled
-//!   from `qosc-actors` in the examples and integration tests).
+//! * [`runtime`] — one execution API, three backends: the engines run
+//!   unmodified on the deterministic DES ([`DesRuntime`]), the live
+//!   threaded actor transport ([`ActorRuntime`]) or the zero-latency
+//!   in-memory fast path ([`DirectRuntime`]).
 //!
 //! ## Quick start
+//!
+//! Three heterogeneous nodes negotiate a one-task coalition on the
+//! zero-latency [`DirectRuntime`]; swap in [`DesRuntime`] or
+//! [`ActorRuntime`] without touching the scenario (see the [`runtime`]
+//! module docs for the three-backend version of this exact snippet).
 //!
 //! ```
 //! use std::sync::Arc;
 //! use qosc_core::{
-//!     single_organizer_scenario, OrganizerConfig, ProviderConfig, ProviderEngine,
+//!     CoalitionNode, DirectRuntime, NegoEvent, OrganizerConfig, OrganizerEngine,
+//!     ProviderConfig, ProviderEngine, Runtime,
 //! };
-//! use qosc_netsim::{Mobility, Point, SimConfig, SimDuration, SimTime, Simulator};
+//! use qosc_netsim::SimTime;
 //! use qosc_resources::{av_demand_model, ResourceVector};
 //! use qosc_spec::{catalog, ServiceDef, TaskDef};
 //!
-//! // Three static nodes in range of each other.
-//! let mut sim = Simulator::new(SimConfig::default());
-//! for i in 0..3 {
-//!     sim.add_node(Point::new(10.0 * i as f64, 0.0), Mobility::Static);
-//! }
-//! // Providers with heterogeneous CPU.
 //! let spec = catalog::av_spec();
-//! let providers = (0..3u32)
-//!     .map(|i| {
-//!         let mut p = ProviderEngine::new(
-//!             i,
-//!             ResourceVector::new(100.0 + 150.0 * i as f64, 256.0, 5000.0, 40.0, 4000.0),
-//!             ProviderConfig::default(),
-//!         );
-//!         p.register_demand_model(spec.name(), Arc::new(av_demand_model(&spec)));
-//!         p
-//!     })
-//!     .collect();
+//! let mut rt = DirectRuntime::new();
+//! for i in 0..3u32 {
+//!     // Providers with heterogeneous CPU; node 0 also organizes.
+//!     let mut p = ProviderEngine::new(
+//!         i,
+//!         ResourceVector::new(100.0 + 150.0 * i as f64, 256.0, 5000.0, 40.0, 4000.0),
+//!         ProviderConfig::default(),
+//!     );
+//!     p.register_demand_model(spec.name(), Arc::new(av_demand_model(&spec)));
+//!     let mut node = CoalitionNode::new(i).with_provider(p);
+//!     if i == 0 {
+//!         node = node.with_organizer(OrganizerEngine::new(i, OrganizerConfig::default()));
+//!     }
+//!     rt.add_node(node).unwrap();
+//! }
 //! // One service with one surveillance task, requested at node 0.
 //! let service = ServiceDef::new(
 //!     "demo",
@@ -62,18 +67,12 @@
 //!         output_bytes: 5_000,
 //!     }],
 //! );
-//! let (mut sim, mut host) = single_organizer_scenario(
-//!     sim,
-//!     OrganizerConfig::default(),
-//!     providers,
-//!     service,
-//!     SimDuration::millis(1),
-//! );
-//! sim.run_until(&mut host, SimTime(5_000_000));
-//! assert!(host.events.iter().any(|e| matches!(
-//!     e.event,
-//!     qosc_core::NegoEvent::Formed { .. }
-//! )));
+//! rt.submit(0, service, SimTime(1_000)).unwrap();
+//! rt.run(SimTime(5_000_000));
+//! assert!(rt
+//!     .events()
+//!     .iter()
+//!     .any(|e| matches!(e.event, NegoEvent::Formed { .. })));
 //! ```
 
 #![warn(missing_docs)]
@@ -87,7 +86,7 @@ mod metrics;
 mod organizer;
 mod protocol;
 mod provider;
-mod simglue;
+pub mod runtime;
 
 pub use compiled::CompiledRequest;
 pub use evaluation::{DifMode, EvalConfig, Evaluator, Inadmissible, WeightScheme};
@@ -102,4 +101,7 @@ pub use protocol::{
     decode_timer, encode_timer, Action, Msg, NegoId, Pid, TaskAnnouncement, TaskProposal, TimerKind,
 };
 pub use provider::{ProposalStrategy, ProviderConfig, ProviderEngine};
-pub use simglue::{dissolve_token, kickoff_token, single_organizer_scenario, LoggedEvent, SimHost};
+pub use runtime::{
+    dissolve_token, kickoff_token, single_organizer_scenario, ActorRuntime, ActorWire,
+    CoalitionNode, DesRuntime, DirectRuntime, LoggedEvent, NodeEngine, Runtime, RuntimeError,
+};

@@ -1,7 +1,7 @@
 //! # qosc-netsim — deterministic ad-hoc wireless network simulator
 //!
 //! The paper evaluates coalition formation in "a local ad-hoc network
-//! [that] forms spontaneously, as nodes move in range of each other" (§1).
+//! \[that\] forms spontaneously, as nodes move in range of each other" (§1).
 //! Lacking 2005-era handhelds and radios, this crate substitutes a
 //! discrete-event simulator that reproduces exactly what the protocol
 //! observes: connectivity (unit-disc radio over 2-D positions), message

@@ -44,6 +44,20 @@ impl Default for RadioModel {
 }
 
 impl RadioModel {
+    /// A zero-latency, lossless radio: every message arrives at its send
+    /// timestamp. This is the DES configuration whose event order is
+    /// pinned against the in-memory direct runtime by the cross-backend
+    /// equivalence test.
+    pub fn instant() -> Self {
+        Self {
+            bitrate_kbps: f64::INFINITY,
+            base_latency: SimDuration::ZERO,
+            loss_floor: 0.0,
+            loss_at_edge: 0.0,
+            ..Default::default()
+        }
+    }
+
     /// True if two nodes at distance `d` share a link.
     pub fn in_range(&self, d: f64) -> bool {
         d <= self.range_m
@@ -117,6 +131,14 @@ mod tests {
         assert!((r.loss_probability(80.0) - 0.05).abs() < 1e-12);
         assert!((r.loss_probability(90.0) - 0.25).abs() < 1e-12);
         assert!((r.loss_probability(100.0) - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instant_radio_has_zero_latency_and_loss() {
+        let r = RadioModel::instant();
+        assert_eq!(r.latency(0), SimDuration::ZERO);
+        assert_eq!(r.latency(1_000_000), SimDuration::ZERO);
+        assert_eq!(r.loss_probability(r.range_m), 0.0);
     }
 
     #[test]

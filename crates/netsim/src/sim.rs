@@ -212,6 +212,10 @@ pub struct Simulator<M> {
     rng: ChaCha8Rng,
     stats: NetStats,
     mobility_armed: bool,
+    /// Reused per-broadcast target buffer: broadcast fan-out is the
+    /// 256-node hot path, and a fresh `Vec` per delivery showed up in
+    /// profiles.
+    bcast_scratch: Vec<(NodeId, f64)>,
 }
 
 impl<M: Clone> Simulator<M> {
@@ -227,6 +231,7 @@ impl<M: Clone> Simulator<M> {
             rng,
             stats: NetStats::default(),
             mobility_armed: false,
+            bcast_scratch: Vec::new(),
         }
     }
 
@@ -304,22 +309,34 @@ impl<M: Clone> Simulator<M> {
 
     /// Live single-hop neighbours of `node`.
     pub fn neighbours(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.neighbours_into(node, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`Simulator::neighbours`]: clears `out`
+    /// and appends the live single-hop neighbours of `node`. Callers on
+    /// hot paths keep one scratch `Vec` alive across queries instead of
+    /// allocating per call.
+    pub fn neighbours_into(&self, node: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
         let Some(slot) = self.nodes.get(node.0 as usize) else {
-            return Vec::new();
+            return;
         };
         if !slot.up {
-            return Vec::new();
+            return;
         }
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(i, s)| {
-                *i != node.0 as usize
-                    && s.up
-                    && self.config.radio.in_range(slot.pos.distance(&s.pos))
-            })
-            .map(|(i, _)| NodeId(i as u32))
-            .collect()
+        out.extend(
+            self.nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| {
+                    *i != node.0 as usize
+                        && s.up
+                        && self.config.radio.in_range(slot.pos.distance(&s.pos))
+                })
+                .map(|(i, _)| NodeId(i as u32)),
+        );
     }
 
     /// All nodes reachable from `node` over live multi-hop paths
@@ -333,9 +350,13 @@ impl<M: Clone> Simulator<M> {
         }
         seen[node.0 as usize] = true;
         let mut out = Vec::new();
+        // One neighbour buffer for the whole traversal instead of a fresh
+        // allocation per visited node.
+        let mut nbuf = Vec::new();
         while let Some(u) = queue.pop() {
             out.push(u);
-            for v in self.neighbours(u) {
+            self.neighbours_into(u, &mut nbuf);
+            for &v in &nbuf {
                 if !seen[v.0 as usize] {
                     seen[v.0 as usize] = true;
                     queue.push(v);
@@ -417,15 +438,17 @@ impl<M: Clone> Simulator<M> {
         }
         let src_pos = s.pos;
         let latency = self.config.radio.latency(bytes);
-        let targets: Vec<(NodeId, f64)> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(i, d)| *i != src.0 as usize && d.up)
-            .map(|(i, d)| (NodeId(i as u32), src_pos.distance(&d.pos)))
-            .filter(|(_, dist)| self.config.radio.in_range(*dist))
-            .collect();
-        for (dst, dist) in targets {
+        let mut targets = std::mem::take(&mut self.bcast_scratch);
+        targets.clear();
+        targets.extend(
+            self.nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, d)| *i != src.0 as usize && d.up)
+                .map(|(i, d)| (NodeId(i as u32), src_pos.distance(&d.pos)))
+                .filter(|(_, dist)| self.config.radio.in_range(*dist)),
+        );
+        for &(dst, dist) in &targets {
             if self.config.radio.drops(dist, &mut self.rng) {
                 self.stats.unicasts_lost += 1;
                 continue;
@@ -443,6 +466,7 @@ impl<M: Clone> Simulator<M> {
                 },
             );
         }
+        self.bcast_scratch = targets;
     }
 
     /// Processes the next event through `app`. Returns the new time, or

@@ -1,24 +1,23 @@
 //! The negotiation protocol on the *live* threaded transport.
 //!
-//! The engines are sans-IO; here each node is an OS-thread actor
-//! (`qosc-actors`) with real wall-clock timers, and the process-wide
-//! `Directory` plays the radio's role. The same code drives the
-//! deterministic simulator in every experiment — this example proves the
-//! protocol also runs concurrently in real time. The cluster harness is
-//! shared with the `live_actor_transport` integration test.
+//! The engines are sans-IO; here each node is an OS-thread actor behind
+//! `qosc_core::ActorRuntime`, with real wall-clock timers and the
+//! process-wide `Directory` playing the radio's role. The same scenario
+//! code drives the deterministic simulator in every experiment — this
+//! example proves the protocol also runs concurrently in real time,
+//! through the exact same `Runtime` API.
 //!
 //! ```text
 //! cargo run -p qosc-system-tests --example live_actors
 //! ```
 
-use std::time::Duration;
-
-use qosc_core::NegoEvent;
+use qosc_core::{NegoEvent, Runtime};
+use qosc_netsim::SimTime;
 use qosc_spec::{catalog, ServiceDef, TaskDef};
-use qosc_system_tests::live::{spawn_live_cluster, LiveMsg};
+use qosc_system_tests::live_cluster;
 
 fn main() {
-    let (mut system, dir, events_rx) = spawn_live_cluster(&[15.0, 60.0, 150.0, 400.0]);
+    let mut rt = live_cluster(&[15.0, 60.0, 150.0, 400.0]);
 
     // Node 0 originates a two-camera surveillance service.
     let spec = catalog::av_spec();
@@ -34,11 +33,15 @@ fn main() {
             })
             .collect(),
     );
-    dir.send(0, 0, LiveMsg::Start(service));
+    rt.submit(0, service, SimTime(1_000)).unwrap();
 
     // Wait (wall clock!) for the coalition to form.
-    match events_rx.recv_timeout(Duration::from_secs(10)) {
-        Ok((node, NegoEvent::Formed { metrics, .. })) => {
+    let settled = rt.run_until_settled(1, SimTime(10_000_000));
+    match rt.events().iter().find_map(|e| match &e.event {
+        NegoEvent::Formed { metrics, .. } => Some((e.node, metrics.clone())),
+        _ => None,
+    }) {
+        Some((node, metrics)) => {
             println!("coalition formed (organizer node {node}):");
             for (task, o) in &metrics.outcomes {
                 println!("  {task} -> node {} at distance {:.4}", o.node, o.distance);
@@ -51,8 +54,7 @@ fn main() {
                     .unwrap_or(0.0)
             );
         }
-        Ok((node, other)) => println!("node {node} reported: {other:?}"),
-        Err(_) => eprintln!("no coalition within 10 s — check thread scheduling"),
+        None => eprintln!("no coalition within 10 s ({settled} settled) — check thread scheduling"),
     }
-    system.shutdown();
+    rt.shutdown();
 }

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use qosc_core::{
-    single_organizer_scenario, NegoEvent, OrganizerConfig, ProviderConfig, ProviderEngine,
+    single_organizer_scenario, NegoEvent, OrganizerConfig, ProviderConfig, ProviderEngine, Runtime,
 };
 use qosc_netsim::{Mobility, Point, SimConfig, SimDuration, SimTime, Simulator};
 use qosc_resources::{av_demand_model, ResourceVector};
@@ -48,16 +48,16 @@ fn main() {
         }],
     );
 
-    let (mut sim, mut host) = single_organizer_scenario(
+    let mut rt = single_organizer_scenario(
         sim,
         OrganizerConfig::default(),
         providers,
         service,
         SimDuration::millis(1),
     );
-    sim.run_until(&mut host, SimTime(5_000_000));
+    rt.run(SimTime(5_000_000));
 
-    for e in &host.events {
+    for e in rt.events() {
         match &e.event {
             NegoEvent::Formed { nego, metrics } => {
                 println!("coalition {nego} formed at t={}", e.at);
@@ -81,7 +81,7 @@ fn main() {
     }
     println!(
         "network: {} messages, mean latency {}",
-        sim.stats().messages_sent(),
-        sim.stats().mean_latency()
+        rt.net_stats().messages_sent(),
+        rt.net_stats().mean_latency()
     );
 }

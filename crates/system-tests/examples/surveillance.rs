@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use qosc_core::{
     single_organizer_scenario, Evaluator, NegoEvent, OrganizerConfig, ProviderConfig,
-    ProviderEngine,
+    ProviderEngine, Runtime,
 };
 use qosc_netsim::{Mobility, Point, SimConfig, SimDuration, SimTime, Simulator};
 use qosc_resources::{av_demand_model, ResourceVector};
@@ -72,18 +72,18 @@ fn main() {
         }],
     );
 
-    let (mut sim, mut host) = single_organizer_scenario(
+    let mut rt = single_organizer_scenario(
         sim,
         OrganizerConfig::default(),
         providers,
         service,
         SimDuration::millis(1),
     );
-    sim.run_until(&mut host, SimTime(5_000_000));
+    rt.run(SimTime(5_000_000));
 
     println!("\n=== negotiation outcome ===");
     let evaluator = Evaluator::default();
-    for e in &host.events {
+    for e in rt.events() {
         if let NegoEvent::Formed { metrics, .. } = &e.event {
             for (task, o) in &metrics.outcomes {
                 println!(

@@ -3,20 +3,19 @@
 //!
 //! Every integration test in `tests/` assembles the same three
 //! ingredients: AV-capable [`ProviderEngine`]s, a multi-task
-//! [`ServiceDef`] over the paper's surveillance request, and a simulator
-//! topology where the nodes can actually hear each other. The builders
-//! here keep those assemblies in one place so the tests state only what
-//! they vary (capacities, byte sizes, mobility, seeds).
+//! [`ServiceDef`] over the paper's surveillance request, and a runtime
+//! backend to execute them on. The builders here keep those assemblies in
+//! one place so the tests state only what they vary (capacities, byte
+//! sizes, mobility, seeds, backend).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod live;
-
 use std::sync::Arc;
 
 use qosc_core::{
-    single_organizer_scenario, Msg, OrganizerConfig, ProviderConfig, ProviderEngine, SimHost,
+    single_organizer_scenario, ActorRuntime, CoalitionNode, DesRuntime, Msg, OrganizerConfig,
+    OrganizerEngine, ProviderConfig, ProviderEngine, Runtime,
 };
 use qosc_netsim::{Area, Mobility, Point, SimConfig, SimDuration, Simulator};
 use qosc_resources::{av_demand_model, ResourceVector};
@@ -111,26 +110,29 @@ pub fn dense_scenario(seed: u64, nodes: usize) -> Scenario {
 
 /// The `qosc_core` lib.rs quickstart, as a function: three static nodes,
 /// heterogeneous CPUs (100/250/400), one single-task demo service
-/// kicked off after 1 ms. Run it with `sim.run_until(&mut host, ..)` and
-/// a coalition forms.
-pub fn quickstart_scenario() -> (Simulator<Msg>, SimHost) {
+/// kicked off after 1 ms, on the DES backend. Run it with
+/// `rt.run(..)` and a coalition forms.
+pub fn quickstart_scenario() -> DesRuntime {
     let mut sim = Simulator::new(SimConfig::default());
     for i in 0..3 {
         sim.add_node(Point::new(10.0 * i as f64, 0.0), Mobility::Static);
     }
-    let spec = catalog::av_spec();
     let providers = (0..3u32)
-        .map(|i| {
-            let mut p = ProviderEngine::new(
-                i,
-                ResourceVector::new(100.0 + 150.0 * i as f64, 256.0, 5000.0, 40.0, 4000.0),
-                ProviderConfig::default(),
-            );
-            p.register_demand_model(spec.name(), Arc::new(av_demand_model(&spec)));
-            p
-        })
+        .map(|i| av_provider_with(i, 100.0 + 150.0 * i as f64, ProviderConfig::default()))
         .collect();
-    let service = ServiceDef::new(
+    single_organizer_scenario(
+        sim,
+        OrganizerConfig::default(),
+        providers,
+        quickstart_service(),
+        SimDuration::millis(1),
+    )
+}
+
+/// The quickstart's one-task demo service.
+pub fn quickstart_service() -> ServiceDef {
+    let spec = catalog::av_spec();
+    ServiceDef::new(
         "demo",
         vec![TaskDef {
             name: "camera".into(),
@@ -139,12 +141,50 @@ pub fn quickstart_scenario() -> (Simulator<Msg>, SimHost) {
             input_bytes: 50_000,
             output_bytes: 5_000,
         }],
-    );
-    single_organizer_scenario(
-        sim,
-        OrganizerConfig::default(),
-        providers,
-        service,
-        SimDuration::millis(1),
     )
+}
+
+/// The quickstart's node set as a backend-agnostic description: three
+/// AV-capable providers with CPUs 100/250/400, node 0 organizing.
+pub fn quickstart_nodes() -> Vec<CoalitionNode> {
+    (0..3u32)
+        .map(|i| {
+            let spec = catalog::av_spec();
+            let mut p = ProviderEngine::new(
+                i,
+                ResourceVector::new(100.0 + 150.0 * i as f64, 256.0, 5000.0, 40.0, 4000.0),
+                ProviderConfig::default(),
+            );
+            p.register_demand_model(spec.name(), Arc::new(av_demand_model(&spec)));
+            let node = CoalitionNode::new(i).with_provider(p);
+            if i == 0 {
+                node.with_organizer(OrganizerEngine::new(i, OrganizerConfig::default()))
+            } else {
+                node
+            }
+        })
+        .collect()
+}
+
+/// Spawns one AV-capable live node per entry of `cpus` (256 MB memory,
+/// 4 GB storage, 40% battery, 4 Mbit/s each) on the threaded actor
+/// backend; every node both provides and organizes. Kick things off with
+/// `rt.submit(0, service, at)` and wait with `rt.run_until_settled(..)`.
+pub fn live_cluster(cpus: &[f64]) -> ActorRuntime {
+    let spec = catalog::av_spec();
+    let mut rt = ActorRuntime::new();
+    for (id, cpu) in cpus.iter().enumerate() {
+        let id = id as u32;
+        let mut provider = ProviderEngine::new(
+            id,
+            ResourceVector::new(*cpu, 256.0, 4000.0, 40.0, 4000.0),
+            ProviderConfig::default(),
+        );
+        provider.register_demand_model(spec.name(), Arc::new(av_demand_model(&spec)));
+        let node = CoalitionNode::new(id)
+            .with_provider(provider)
+            .with_organizer(OrganizerEngine::new(id, OrganizerConfig::default()));
+        rt.add_node(node).expect("cluster ids are sequential");
+    }
+    rt
 }

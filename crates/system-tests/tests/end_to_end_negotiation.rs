@@ -3,8 +3,8 @@
 //! and dissolution restoring every ledger.
 
 use qosc_core::{
-    dissolve_token, single_organizer_scenario, NegoEvent, NegoId, OrganizerConfig, ProviderConfig,
-    ProviderEngine,
+    single_organizer_scenario, NegoEvent, NegoId, OrganizerConfig, ProviderConfig, ProviderEngine,
+    Runtime,
 };
 use qosc_netsim::{NodeId, SimDuration, SimTime};
 use qosc_resources::ResourceKind;
@@ -32,24 +32,24 @@ fn coalition_forms_with_correct_winner_and_message_count() {
         monitor: false,
         ..Default::default()
     };
-    let (mut sim, mut host) = single_organizer_scenario(
+    let mut rt = single_organizer_scenario(
         sim,
         organizer,
         providers,
         service(1),
         SimDuration::millis(1),
     );
-    sim.run_until(&mut host, SimTime(10_000_000));
+    rt.run(SimTime(10_000_000));
 
-    let formed: Vec<_> = host
-        .events
+    let formed: Vec<_> = rt
+        .events()
         .iter()
         .filter_map(|e| match &e.event {
             NegoEvent::Formed { metrics, .. } => Some(metrics.clone()),
             _ => None,
         })
         .collect();
-    assert_eq!(formed.len(), 1, "exactly one coalition: {:?}", host.events);
+    assert_eq!(formed.len(), 1, "exactly one coalition: {:?}", rt.events());
     let m = &formed[0];
     assert_eq!(m.outcomes[&TaskId(0)].node, 3, "richest node must win");
     assert_eq!(m.outcomes[&TaskId(0)].distance, 0.0);
@@ -59,7 +59,7 @@ fn coalition_forms_with_correct_winner_and_message_count() {
 
     // Analytic single-round count: 1 CFP + n proposals + 1 award + 1 accept.
     let expected = 1 + n as u64 + 1 + 1;
-    assert_eq!(sim.stats().messages_sent(), expected);
+    assert_eq!(rt.messages_sent(), expected);
     // Formation latency is dominated by the proposal deadline (100 ms).
     let lat = m.formation_latency().unwrap();
     assert!(lat >= SimDuration::millis(100));
@@ -87,23 +87,23 @@ fn multi_task_service_spreads_across_nodes_with_sequential_pricing() {
             )
         })
         .collect();
-    let (mut sim, mut host) = single_organizer_scenario(
+    let mut rt = single_organizer_scenario(
         sim,
         OrganizerConfig::default(),
         providers,
         service(3),
         SimDuration::millis(1),
     );
-    sim.run_until(&mut host, SimTime(30_000_000));
+    rt.run(SimTime(30_000_000));
 
-    let formed = host
-        .events
+    let formed = rt
+        .events()
         .iter()
         .find_map(|e| match &e.event {
             NegoEvent::Formed { metrics, .. } => Some(metrics.clone()),
             _ => None,
         })
-        .unwrap_or_else(|| panic!("coalition should form: {:?}", host.events));
+        .unwrap_or_else(|| panic!("coalition should form: {:?}", rt.events()));
     assert_eq!(formed.outcomes.len(), 3);
     assert_eq!(
         formed.distinct_members(),
@@ -123,45 +123,43 @@ fn dissolution_releases_every_ledger() {
     let n = 3;
     let sim = dense_sim(n);
     let providers = (0..n).map(|i| provider(i as u32, 500.0)).collect();
-    let (mut sim, mut host) = single_organizer_scenario(
+    let mut rt = single_organizer_scenario(
         sim,
         OrganizerConfig::default(),
         providers,
         service(2),
         SimDuration::millis(1),
     );
-    sim.run_until(&mut host, SimTime(2_000_000));
-    assert!(host
-        .events
+    rt.run(SimTime(2_000_000));
+    assert!(rt
+        .events()
         .iter()
         .any(|e| matches!(e.event, NegoEvent::Formed { .. })));
 
-    let committed = |host: &qosc_core::SimHost| -> f64 {
+    let committed = |rt: &qosc_core::DesRuntime| -> f64 {
         (0..n as u32)
             .map(|i| {
-                let l = host.provider(i).unwrap().ledger();
+                let l = rt.node(i).unwrap().provider().unwrap().ledger();
                 l.capacity().get(ResourceKind::Cpu) - l.available().get(ResourceKind::Cpu)
             })
             .sum()
     };
-    assert!(
-        committed(&host) > 0.0,
-        "resources committed while operating"
-    );
+    assert!(committed(&rt) > 0.0, "resources committed while operating");
 
     // Host-driven dissolution: the organizer sends Release to all members.
     let nego = NegoId {
         organizer: 0,
         seq: 0,
     };
-    sim.schedule_timer(NodeId(0), SimDuration::millis(1), dissolve_token(nego));
-    sim.run_until(&mut host, SimTime(5_000_000));
+    let at = rt.sim().now() + SimDuration::millis(1);
+    rt.schedule_dissolve(nego, at).unwrap();
+    rt.run(SimTime(5_000_000));
 
-    assert!(host
-        .events
+    assert!(rt
+        .events()
         .iter()
         .any(|e| matches!(e.event, NegoEvent::Dissolved { .. })));
-    assert_eq!(committed(&host), 0.0, "all ledgers restored");
+    assert_eq!(committed(&rt), 0.0, "all ledgers restored");
 }
 
 #[test]
@@ -173,18 +171,19 @@ fn organizer_retries_when_first_winner_dies_before_award() {
     // times out and a retry round should land on node 2.
     let cpus = [10.0, 500.0, 400.0];
     let providers = (0..n).map(|i| provider(i as u32, cpus[i])).collect();
-    let (mut sim, mut host) = single_organizer_scenario(
+    let mut rt = single_organizer_scenario(
         sim,
         OrganizerConfig::default(),
         providers,
         service(1),
         SimDuration::millis(1),
     );
-    sim.schedule_down(NodeId(1), SimDuration::millis(50));
-    sim.run_until(&mut host, SimTime(30_000_000));
+    rt.sim_mut()
+        .schedule_down(NodeId(1), SimDuration::millis(50));
+    rt.run(SimTime(30_000_000));
 
-    let formed = host
-        .events
+    let formed = rt
+        .events()
         .iter()
         .find_map(|e| match &e.event {
             NegoEvent::Formed { metrics, .. } => Some(metrics.clone()),

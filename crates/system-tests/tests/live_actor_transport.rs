@@ -1,62 +1,57 @@
-//! The same negotiation engines on the live threaded actor transport:
-//! real concurrency, wall-clock timers, process-local "radio".
+//! The same negotiation engines on the live threaded actor transport,
+//! through the unified `Runtime` API: real concurrency, wall-clock
+//! timers, process-local "radio".
 
-use std::time::{Duration, Instant};
-
-use qosc_core::NegoEvent;
+use qosc_core::{NegoEvent, Runtime};
+use qosc_netsim::SimTime;
 use qosc_spec::TaskId;
-use qosc_system_tests::live::{spawn_live_cluster, LiveMsg};
-use qosc_system_tests::surveillance_service;
+use qosc_system_tests::{live_cluster, surveillance_service};
 
 #[test]
 fn live_negotiation_forms_a_coalition() {
-    let (mut system, dir, rx) = spawn_live_cluster(&[12.0, 60.0, 500.0]);
-    dir.send(0, 0, LiveMsg::Start(surveillance_service("svc", 1)));
-    let deadline = Duration::from_secs(15);
-    let mut formed = None;
-    let start = Instant::now();
-    while start.elapsed() < deadline {
-        match rx.recv_timeout(Duration::from_millis(200)) {
-            Ok((_, NegoEvent::Formed { metrics, .. })) => {
-                formed = Some(metrics);
-                break;
-            }
-            Ok(_) => {}
-            Err(_) => {}
-        }
-    }
-    let metrics = formed.expect("live coalition should form within 15 s");
+    let mut rt = live_cluster(&[12.0, 60.0, 500.0]);
+    rt.submit(0, surveillance_service("svc", 1), SimTime(1_000))
+        .unwrap();
+    let settled = rt.run_until_settled(1, SimTime(15_000_000));
+    assert_eq!(settled, 1, "live coalition should form within 15 s");
+    let metrics = rt
+        .events()
+        .iter()
+        .find_map(|e| match &e.event {
+            NegoEvent::Formed { metrics, .. } => Some(metrics.clone()),
+            _ => None,
+        })
+        .expect("a Formed event");
     // Node 0 (12 MIPS) cannot serve preferred quality (~18.25 MIPS); one
     // of the capable remote nodes must win at distance 0 (they tie, and
     // the lowest id is selected).
     let winner = metrics.outcomes[&TaskId(0)].node;
     assert!(winner == 1 || winner == 2, "winner {winner}");
     assert_eq!(metrics.outcomes[&TaskId(0)].distance, 0.0);
-    system.shutdown();
+    rt.shutdown();
 }
 
 #[test]
 fn live_partial_connectivity_limits_candidates() {
-    let (mut system, dir, rx) = spawn_live_cluster(&[12.0, 60.0, 500.0]);
+    let mut rt = live_cluster(&[12.0, 60.0, 500.0]);
     // Node 0 can only reach node 1 (and itself — local proposals travel
     // the self-send path): the strong node 2 is "out of range".
-    dir.set_reachable(0, vec![0, 1]);
-    dir.set_reachable(1, vec![0, 1]);
-    dir.set_reachable(2, vec![2]);
-    dir.send(0, 0, LiveMsg::Start(surveillance_service("svc", 1)));
-    let deadline = Duration::from_secs(15);
-    let mut metrics = None;
-    let start = Instant::now();
-    while start.elapsed() < deadline {
-        if let Ok((_, NegoEvent::Formed { metrics: m, .. })) =
-            rx.recv_timeout(Duration::from_millis(200))
-        {
-            metrics = Some(m);
-            break;
-        }
-    }
-    let m = metrics.expect("coalition should still form via node 1");
+    rt.directory().set_reachable(0, vec![0, 1]);
+    rt.directory().set_reachable(1, vec![0, 1]);
+    rt.directory().set_reachable(2, vec![2]);
+    rt.submit(0, surveillance_service("svc", 1), SimTime(1_000))
+        .unwrap();
+    let settled = rt.run_until_settled(1, SimTime(15_000_000));
+    assert_eq!(settled, 1, "coalition should still form via node 1");
+    let m = rt
+        .events()
+        .iter()
+        .find_map(|e| match &e.event {
+            NegoEvent::Formed { metrics, .. } => Some(metrics.clone()),
+            _ => None,
+        })
+        .expect("a Formed event");
     let winner = m.outcomes[&TaskId(0)].node;
     assert_ne!(winner, 2, "unreachable node must not win");
-    system.shutdown();
+    rt.shutdown();
 }

@@ -31,8 +31,7 @@ fn member_failure_triggers_reconfiguration_and_recovery() {
     s.submit(0, svc, SimTime(1_000));
     s.run_until(SimTime(2_000_000));
     let first_formed = s
-        .host
-        .events
+        .events()
         .iter()
         .find_map(|e| match &e.event {
             NegoEvent::Formed { metrics, .. } => Some(metrics.clone()),
@@ -50,21 +49,19 @@ fn member_failure_triggers_reconfiguration_and_recovery() {
         // seeds make this rare. Nothing to test then.
         return;
     };
-    s.sim
+    s.sim_mut()
         .schedule_down(NodeId(victim), SimDuration::millis(100));
     s.run_until(SimTime(30_000_000));
     assert!(
-        s.host
-            .events
+        s.events()
             .iter()
             .any(|e| matches!(e.event, NegoEvent::MemberFailed { node, .. } if node == victim)),
         "failure must be detected: {:?}",
-        s.host.events
+        s.events()
     );
     // After reconfiguration the victim's tasks live somewhere else.
     let last_metrics =
-        s.host
-            .events
+        s.events()
             .iter()
             .rev()
             .find_map(|e| match &e.event {
@@ -94,8 +91,7 @@ fn formation_succeeds_across_mobility_levels() {
             s.submit(0, svc, SimTime(1_000));
             s.run_until(SimTime(20_000_000));
             formed_any |= s
-                .host
-                .events
+                .events()
                 .iter()
                 .any(|e| matches!(e.event, NegoEvent::Formed { .. }));
         }
@@ -131,11 +127,10 @@ fn sparse_disconnected_topology_fails_gracefully() {
     s.run_until(SimTime(30_000_000));
     // The negotiation must settle (incomplete), never hang or panic.
     assert!(
-        s.host
-            .events
+        s.events()
             .iter()
             .any(|e| matches!(e.event, NegoEvent::FormationIncomplete { .. })),
         "events: {:?}",
-        s.host.events
+        s.events()
     );
 }

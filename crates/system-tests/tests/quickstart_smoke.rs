@@ -1,17 +1,18 @@
 //! Smoke test guarding the public API surface that the `qosc_core`
 //! lib.rs doctest exercises: the quickstart scenario must build through
-//! the same constructors and actually form a coalition.
+//! the same constructors and actually form a coalition — on every
+//! backend of the unified runtime API.
 
-use qosc_core::NegoEvent;
+use qosc_core::{ActorRuntime, DirectRuntime, NegoEvent, Runtime};
 use qosc_netsim::SimTime;
-use qosc_system_tests::quickstart_scenario;
+use qosc_system_tests::{quickstart_nodes, quickstart_scenario, quickstart_service};
 
 #[test]
 fn quickstart_scenario_forms_a_coalition() {
-    let (mut sim, mut host) = quickstart_scenario();
-    sim.run_until(&mut host, SimTime(5_000_000));
-    let formed: Vec<_> = host
-        .events
+    let mut rt = quickstart_scenario();
+    rt.run(SimTime(5_000_000));
+    let formed: Vec<_> = rt
+        .events()
         .iter()
         .filter(|e| matches!(e.event, NegoEvent::Formed { .. }))
         .collect();
@@ -26,19 +27,49 @@ fn quickstart_scenario_forms_a_coalition() {
         assert!(metrics.distinct_members() >= 1);
     }
     // The network actually carried protocol traffic.
-    assert!(sim.stats().messages_sent() > 0);
+    assert!(rt.messages_sent() > 0);
 }
 
 #[test]
 fn quickstart_scenario_is_deterministic() {
     let run = || {
-        let (mut sim, mut host) = quickstart_scenario();
-        sim.run_until(&mut host, SimTime(5_000_000));
+        let mut rt = quickstart_scenario();
+        rt.run(SimTime(5_000_000));
         (
-            host.events.len(),
-            sim.stats().messages_sent(),
-            format!("{:?}", host.events),
+            rt.events().len(),
+            rt.messages_sent(),
+            format!("{:?}", rt.events()),
         )
     };
     assert_eq!(run(), run());
+}
+
+/// The same quickstart node set runs unmodified on every backend
+/// through the one `Runtime` API.
+#[test]
+fn quickstart_runs_on_every_backend() {
+    let backends: Vec<Box<dyn Runtime>> = vec![
+        Box::new(DirectRuntime::new()),
+        Box::new(quickstart_scenario()), // DES, nodes pre-registered
+        Box::new(ActorRuntime::new()),
+    ];
+    for mut rt in backends {
+        let des = rt.backend_name() == "des";
+        if !des {
+            for node in quickstart_nodes() {
+                rt.add_node(node).unwrap();
+            }
+            rt.submit(0, quickstart_service(), SimTime(1_000)).unwrap();
+        }
+        let settled = rt.run_until_settled(1, SimTime(10_000_000));
+        assert_eq!(settled, 1, "no settlement on {}", rt.backend_name());
+        assert!(
+            rt.events()
+                .iter()
+                .any(|e| matches!(e.event, NegoEvent::Formed { .. })),
+            "no coalition on {}",
+            rt.backend_name()
+        );
+        rt.shutdown();
+    }
 }

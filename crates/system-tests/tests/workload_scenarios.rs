@@ -25,8 +25,7 @@ fn poisson_stream_of_services_is_processed() {
     }
     s.run_until(SimTime(60_000_000));
     let settled = s
-        .host
-        .events
+        .events()
         .iter()
         .filter(|e| {
             matches!(
@@ -36,9 +35,10 @@ fn poisson_stream_of_services_is_processed() {
         })
         .count();
     assert_eq!(
-        settled, n,
+        settled,
+        n,
         "every negotiation must settle: {:?}",
-        s.host.events
+        s.events()
     );
 }
 
@@ -54,7 +54,7 @@ fn concurrent_negotiations_do_not_overcommit_any_node() {
     s.run_until(SimTime(30_000_000));
     // Ledger invariant on every node: committed ≤ capacity per kind.
     for i in 0..6u32 {
-        let ledger = s.host.provider(i).unwrap().ledger();
+        let ledger = s.provider(i).unwrap().ledger();
         let available = ledger.available();
         let capacity = ledger.capacity();
         for k in qosc_resources::ResourceKind::ALL {
@@ -68,8 +68,7 @@ fn concurrent_negotiations_do_not_overcommit_any_node() {
     }
     // Both negotiations settled.
     let settled = s
-        .host
-        .events
+        .events()
         .iter()
         .filter(|e| {
             matches!(
@@ -92,19 +91,18 @@ fn dense_256_node_population_forms_a_coalition() {
     s.submit(0, svc, SimTime(1_000));
     s.run_until(SimTime(10_000_000));
     assert!(
-        s.host
-            .events
+        s.events()
             .iter()
             .any(|e| matches!(e.event, NegoEvent::Formed { .. })),
         "a 256-node dense population must form: {:?}",
-        s.host.events
+        s.events()
     );
     // The CFP reached (essentially) the whole population: the message
     // count is dominated by the per-node proposal replies.
     assert!(
-        s.sim.stats().messages_sent() >= 200,
+        s.net_stats().messages_sent() >= 200,
         "expected a population-wide proposal wave, got {} messages",
-        s.sim.stats().messages_sent()
+        s.net_stats().messages_sent()
     );
 }
 
@@ -119,10 +117,9 @@ fn identical_seeds_give_identical_event_logs() {
         }
         s.run_until(SimTime(30_000_000));
         (
-            s.host.events.len(),
-            s.sim.stats().clone(),
-            s.host
-                .events
+            s.events().len(),
+            s.net_stats().clone(),
+            s.events()
                 .iter()
                 .map(|e| (e.at, e.node))
                 .collect::<Vec<_>>(),

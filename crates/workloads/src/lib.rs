@@ -23,4 +23,4 @@ mod scenario;
 pub use apps::{transcode_demand_model, AppTemplate};
 pub use arrivals::PoissonArrivals;
 pub use population::PopulationConfig;
-pub use scenario::{pedestrian, Scenario, ScenarioConfig};
+pub use scenario::{pedestrian, Backend, Scenario, ScenarioConfig};

@@ -11,14 +11,31 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use qosc_core::{
-    kickoff_token, Msg, OrganizerConfig, OrganizerEngine, ProviderConfig, ProviderEngine, SimHost,
+    ActorRuntime, CoalitionNode, DesRuntime, DirectRuntime, LoggedEvent, Msg, OrganizerConfig,
+    OrganizerEngine, ProviderConfig, ProviderEngine, Runtime,
 };
-use qosc_netsim::{Area, Mobility, RadioModel, SimConfig, SimDuration, SimTime, Simulator};
+use qosc_netsim::{
+    Area, Mobility, NetStats, RadioModel, SimConfig, SimDuration, SimTime, Simulator,
+};
 use qosc_resources::{NodeProfile, ResourceKind};
 use qosc_spec::ServiceDef;
 
 use crate::apps::AppTemplate;
 use crate::population::PopulationConfig;
+
+/// Execution backend a [`ScenarioConfig`] can be instantiated on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The deterministic DES (`qosc-netsim`): geometry, latency, loss,
+    /// mobility. The backend every experiment sweep uses.
+    Des,
+    /// The zero-latency in-memory runtime: no geometry (full
+    /// connectivity), the fast path for tests and benches.
+    Direct,
+    /// The live threaded actor transport: wall-clock timers, full
+    /// connectivity through the process-wide directory.
+    Actor,
+}
 
 /// Scenario parameters.
 #[derive(Debug, Clone)]
@@ -76,12 +93,69 @@ impl ScenarioConfig {
     }
 }
 
-/// An assembled simulation ready to accept services.
+impl ScenarioConfig {
+    /// Builds one node's engines from its sampled hardware profile:
+    /// a provider (capacity from the profile, payload bandwidth tied to
+    /// the radio class, every application template's demand model
+    /// registered) plus an organizer, since any node may originate
+    /// service requests.
+    fn coalition_node(&self, id: u32, profile: &NodeProfile) -> CoalitionNode {
+        let link_kbps = profile.capacity.get(ResourceKind::NetBandwidth);
+        let mut provider = ProviderEngine::new(
+            id,
+            profile.capacity,
+            ProviderConfig {
+                link_kbps,
+                ..self.provider.clone()
+            },
+        );
+        for t in AppTemplate::ALL {
+            provider.register_demand_model(t.spec().name().to_string(), t.demand_model());
+        }
+        CoalitionNode::new(id)
+            .with_provider(provider)
+            .with_organizer(OrganizerEngine::new(id, self.organizer.clone()))
+    }
+
+    /// The full population as backend-agnostic nodes, drawn with exactly
+    /// the seed derivation [`Scenario::build`] uses — so every backend
+    /// sees the same device mix.
+    fn population_nodes(&self) -> Vec<CoalitionNode> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x5eed_cafe);
+        let profiles = self.population.sample_many(self.nodes, &mut rng);
+        profiles
+            .iter()
+            .enumerate()
+            .map(|(i, profile)| self.coalition_node(i as u32, profile))
+            .collect()
+    }
+
+    /// Instantiates the scenario description on any [`Runtime`] backend.
+    /// The population draw is identical across backends (profiles are
+    /// sampled before any backend-specific randomness); geometry and
+    /// mobility only exist on [`Backend::Des`] — the other backends are
+    /// fully connected.
+    pub fn build_backend(&self, backend: Backend) -> Box<dyn Runtime> {
+        let mut rt: Box<dyn Runtime> = match backend {
+            Backend::Des => return Box::new(Scenario::build(self).runtime),
+            Backend::Direct => Box::new(DirectRuntime::new()),
+            Backend::Actor => Box::new(ActorRuntime::new()),
+        };
+        for node in self.population_nodes() {
+            rt.add_node(node).expect("sequential ids are unique");
+        }
+        rt
+    }
+}
+
+/// An assembled DES simulation ready to accept services.
+///
+/// `Scenario` keeps the concrete [`DesRuntime`] so DES-only controls
+/// (failure injection, positions, network counters) stay reachable; use
+/// [`ScenarioConfig::build_backend`] when any backend will do.
 pub struct Scenario {
-    /// The network simulator.
-    pub sim: Simulator<Msg>,
-    /// The engine host (plug into `sim.run_until`).
-    pub host: SimHost,
+    /// The DES runtime hosting the engines.
+    pub runtime: DesRuntime,
     /// Hardware profile per node (index = node id).
     pub profiles: Vec<NodeProfile>,
 }
@@ -96,49 +170,59 @@ impl Scenario {
             seed: config.seed,
             ..Default::default()
         });
-        let mut host = SimHost::new();
         let profiles = config.population.sample_many(config.nodes, &mut rng);
-        for (i, profile) in profiles.iter().enumerate() {
+        for profile in profiles.iter() {
             let mobility = match (&config.mobility, profile.class.battery_powered()) {
                 (Some(m), true) => m.clone(),
                 _ => Mobility::Static,
             };
             sim.add_node(config.area.sample(&mut rng), mobility);
-            // Provider: payload bandwidth tied to the node's radio class.
-            let link_kbps = profile.capacity.get(ResourceKind::NetBandwidth);
-            let mut provider = ProviderEngine::new(
-                i as u32,
-                profile.capacity,
-                ProviderConfig {
-                    link_kbps,
-                    ..config.provider.clone()
-                },
-            );
-            for t in AppTemplate::ALL {
-                provider.register_demand_model(t.spec().name().to_string(), t.demand_model());
-            }
-            host.add_provider(provider);
-            host.add_organizer(OrganizerEngine::new(i as u32, config.organizer.clone()));
         }
-        Scenario {
-            sim,
-            host,
-            profiles,
+        let mut runtime = DesRuntime::new(sim);
+        for (i, profile) in profiles.iter().enumerate() {
+            runtime
+                .add_node(config.coalition_node(i as u32, profile))
+                .expect("sequential ids are unique");
         }
+        Scenario { runtime, profiles }
     }
 
     /// Queues `service` at `node` and schedules its negotiation to start
     /// at `at` (absolute, must be ≥ current sim time).
     pub fn submit(&mut self, node: u32, service: ServiceDef, at: SimTime) {
-        self.host.queue_service(node, service);
-        let delay = at.since(self.sim.now());
-        self.sim
-            .schedule_timer(qosc_netsim::NodeId(node), delay, kickoff_token(node));
+        self.runtime
+            .submit(node, service, at)
+            .expect("node ids come from the population");
     }
 
     /// Convenience: run to `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
-        self.sim.run_until(&mut self.host, deadline)
+        self.runtime.run(deadline)
+    }
+
+    /// Everything the engines reported, in emission order.
+    pub fn events(&self) -> &[LoggedEvent] {
+        self.runtime.events()
+    }
+
+    /// The provider engine of `node`, if registered.
+    pub fn provider(&self, node: u32) -> Option<&ProviderEngine> {
+        self.runtime.node(node).and_then(CoalitionNode::provider)
+    }
+
+    /// Network counters accumulated so far.
+    pub fn net_stats(&self) -> &NetStats {
+        self.runtime.net_stats()
+    }
+
+    /// The underlying simulator (positions, failure injection).
+    pub fn sim(&self) -> &Simulator<Msg> {
+        self.runtime.sim()
+    }
+
+    /// Mutable simulator access (e.g. `schedule_down`).
+    pub fn sim_mut(&mut self) -> &mut Simulator<Msg> {
+        self.runtime.sim_mut()
     }
 
     /// Total CPU capacity across the population.
@@ -179,7 +263,7 @@ mod tests {
         let svc = AppTemplate::Surveillance.service("svc", 2, &mut rng);
         scenario.submit(0, svc, SimTime(1_000));
         scenario.run_until(SimTime(5_000_000));
-        assert!(scenario.host.events.iter().any(|e| matches!(
+        assert!(scenario.events().iter().any(|e| matches!(
             e.event,
             NegoEvent::Formed { .. } | NegoEvent::FormationIncomplete { .. }
         )));
@@ -194,7 +278,7 @@ mod tests {
         };
         let scenario = Scenario::build(&config);
         assert_eq!(scenario.profiles.len(), 5);
-        assert_eq!(scenario.sim.node_count(), 5);
+        assert_eq!(scenario.sim().node_count(), 5);
         assert!(scenario.aggregate_cpu() > 0.0);
     }
 
@@ -213,8 +297,8 @@ mod tests {
             scenario.submit(0, svc, SimTime(1_000));
             scenario.run_until(SimTime(10_000_000));
             (
-                format!("{:?}", scenario.host.events),
-                scenario.sim.stats().messages_sent(),
+                format!("{:?}", scenario.events()),
+                scenario.net_stats().messages_sent(),
             )
         };
         assert_eq!(run(11), run(11));
@@ -237,12 +321,12 @@ mod tests {
         };
         let mut scenario = Scenario::build(&config);
         let before: Vec<_> = (0..20)
-            .map(|i| scenario.sim.position(qosc_netsim::NodeId(i)).unwrap())
+            .map(|i| scenario.sim().position(qosc_netsim::NodeId(i)).unwrap())
             .collect();
         scenario.run_until(SimTime(30_000_000));
         for (i, profile) in scenario.profiles.iter().enumerate() {
             let after = scenario
-                .sim
+                .sim()
                 .position(qosc_netsim::NodeId(i as u32))
                 .unwrap();
             let moved = before[i].distance(&after) > 1.0;
