@@ -1,9 +1,12 @@
 //! B6 — backend overhead of the unified runtime API: the same dense
-//! 64-node negotiation on the zero-latency `DirectRuntime` vs the full
-//! DES (`DesRuntime` with geometry, latency modelling and per-delivery
-//! bookkeeping). The gap is the price of the network model itself; the
-//! protocol work (formulation, evaluation, selection) is identical on
-//! both by the cross-backend equivalence test.
+//! 64- and 256-node negotiation on the zero-latency `DirectRuntime` vs
+//! the full DES (`DesRuntime` with geometry, latency modelling and
+//! per-delivery bookkeeping). The gap is the price of the network model
+//! itself; the protocol work (formulation, evaluation, selection) is
+//! identical on both by the cross-backend equivalence test. Both
+//! backends ride the zero-copy delivery plane (`Arc<Msg>` payloads,
+//! spatial-index fan-out on the DES side) — diff the `BENCH_JSON` lines
+//! run-over-run to track it.
 //!
 //! Emits one JSON line per bench via the criterion shim; set
 //! `BENCH_JSON=<path>` to append them for run-over-run diffing.
@@ -16,12 +19,10 @@ use qosc_workloads::{AppTemplate, Backend, PopulationConfig, ScenarioConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-const NODES: usize = 64;
-
-fn run_backend(backend: Backend, seed: u64) -> usize {
+fn run_backend(backend: Backend, nodes: usize, seed: u64) -> usize {
     let config = ScenarioConfig {
         population: PopulationConfig::default(),
-        ..ScenarioConfig::dense(NODES, seed)
+        ..ScenarioConfig::dense(nodes, seed)
     };
     let mut rt = config.build_backend(backend);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -36,20 +37,24 @@ fn run_backend(backend: Backend, seed: u64) -> usize {
 
 fn bench_runtime_backends(c: &mut Criterion) {
     let mut g = c.benchmark_group("runtime_backend");
-    g.sample_size(20);
-    for backend in [Backend::Direct, Backend::Des] {
-        let name = match backend {
-            Backend::Direct => "direct_dense",
-            Backend::Des => "des_dense",
-            Backend::Actor => unreachable!(),
-        };
-        g.bench_with_input(BenchmarkId::new(name, NODES), &backend, |b, &backend| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run_backend(backend, seed)
-            })
-        });
+    for nodes in [64usize, 256] {
+        // A 256-node negotiation costs ~10× the 64-node one; fewer
+        // samples keep the suite quick without losing the signal.
+        g.sample_size(if nodes >= 256 { 10 } else { 20 });
+        for backend in [Backend::Direct, Backend::Des] {
+            let name = match backend {
+                Backend::Direct => "direct_dense",
+                Backend::Des => "des_dense",
+                Backend::Actor => unreachable!(),
+            };
+            g.bench_with_input(BenchmarkId::new(name, nodes), &backend, |b, &backend| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    run_backend(backend, nodes, seed)
+                })
+            });
+        }
     }
     g.finish();
 }

@@ -15,11 +15,14 @@ pub mod f7;
 pub mod t1;
 pub mod t2;
 pub mod t3;
+pub mod t4;
 
 use crate::table::Table;
 
 /// All experiment ids in canonical order.
-pub const ALL: [&str; 10] = ["f1", "f2", "f3", "f4", "f5", "f6", "f7", "t1", "t2", "t3"];
+pub const ALL: [&str; 11] = [
+    "f1", "f2", "f3", "f4", "f5", "f6", "f7", "t1", "t2", "t3", "t4",
+];
 
 /// Runs one experiment by id.
 pub fn run(id: &str) -> Option<Table> {
@@ -34,6 +37,7 @@ pub fn run(id: &str) -> Option<Table> {
         "t1" => t1::run(),
         "t2" => t2::run(),
         "t3" => t3::run(),
+        "t4" => t4::run(),
         _ => return None,
     })
 }

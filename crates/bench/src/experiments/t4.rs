@@ -1,0 +1,126 @@
+//! T4 — multi-organizer contention: concurrent negotiations over one
+//! shared provider pool.
+//!
+//! Every node in the runtime carries an organizer engine, so any subset
+//! of nodes can originate services simultaneously. This sweep has 1→16
+//! organizers kick off a 2-task negotiation *at the same instant* over
+//! populations of 64→256 nodes: each provider prices every CFP against
+//! the capacity left after the tentative holds it already placed for the
+//! others. Contention therefore shows up first in the message columns —
+//! providers whose capacity is held propose for fewer (or no) tasks, so
+//! proposals per organizer fall as the organizer count rises — and only
+//! degrades assignment quality (mean distance, unplaced tasks) once the
+//! concurrent demand approaches the pool's aggregate capacity.
+//!
+//! Runs on the zero-latency `DirectRuntime` — cheap enough to sweep the
+//! full grid at 256 nodes, and (by the `runtime_equivalence` contract)
+//! protocol-identical to the DES with the network effects turned off.
+
+use qosc_core::NegoEvent;
+use qosc_netsim::SimTime;
+use qosc_workloads::{AppTemplate, Backend, ScenarioConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::table::{f, mean, replicate, Table};
+
+const TASKS: usize = 2;
+
+fn reps(nodes: usize) -> u64 {
+    if nodes >= 256 {
+        3
+    } else {
+        6
+    }
+}
+
+/// One replication: `organizers` services submitted at the same kickoff
+/// time. Returns (formed ratio, mean distance over formed negotiations,
+/// unassigned tasks, messages sent).
+fn run_once(nodes: usize, organizers: usize, seed: u64) -> (f64, f64, f64, f64) {
+    let config = ScenarioConfig {
+        organizer: qosc_core::OrganizerConfig {
+            monitor: false, // formation cost only
+            ..Default::default()
+        },
+        provider: qosc_core::ProviderConfig {
+            heartbeat_interval: qosc_netsim::SimDuration::secs(3600),
+            ..Default::default()
+        },
+        ..ScenarioConfig::dense(nodes, 0x74_0000 + seed * 31 + nodes as u64)
+    };
+    let mut rt = config.build_backend(Backend::Direct);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x74_EEEE + seed);
+    for org in 0..organizers {
+        let svc = AppTemplate::Surveillance.service(format!("svc-{org}"), TASKS, &mut rng);
+        // Same kickoff instant for every organizer: maximal contention.
+        rt.submit(org as u32, svc, SimTime(1_000))
+            .expect("organizer exists");
+    }
+    rt.run(SimTime(30_000_000));
+    let mut formed = 0usize;
+    let mut settled = 0usize;
+    let mut distances = Vec::new();
+    let mut unassigned = 0usize;
+    for e in rt.events() {
+        match &e.event {
+            NegoEvent::Formed { metrics, .. } => {
+                formed += 1;
+                settled += 1;
+                distances.push(metrics.mean_distance());
+            }
+            NegoEvent::FormationIncomplete { metrics, .. } => {
+                settled += 1;
+                unassigned += metrics.unassigned.len();
+                if !metrics.outcomes.is_empty() {
+                    distances.push(metrics.mean_distance());
+                }
+            }
+            _ => {}
+        }
+    }
+    // Hard assert: experiments run with --release, and a silently
+    // unsettled negotiation would skew every column of the table.
+    assert_eq!(settled, organizers, "every negotiation must settle");
+    (
+        formed as f64 / organizers as f64,
+        mean(&distances),
+        unassigned as f64,
+        rt.messages_sent() as f64,
+    )
+}
+
+/// Runs T4 and returns its table.
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "T4: multi-organizer contention on DirectRuntime (2 tasks each, simultaneous kickoff)",
+        &[
+            "nodes",
+            "organizers",
+            "formed_ratio",
+            "mean_distance",
+            "unassigned_tasks",
+            "messages",
+            "msgs_per_org",
+        ],
+    );
+    for nodes in [64usize, 128, 256] {
+        for organizers in [1usize, 2, 4, 8, 16] {
+            let results = replicate(reps(nodes), |seed| run_once(nodes, organizers, seed));
+            let formed: Vec<f64> = results.iter().map(|r| r.0).collect();
+            let dist: Vec<f64> = results.iter().map(|r| r.1).collect();
+            let unassigned: Vec<f64> = results.iter().map(|r| r.2).collect();
+            let msgs: Vec<f64> = results.iter().map(|r| r.3).collect();
+            table.row(vec![
+                nodes.to_string(),
+                organizers.to_string(),
+                f(mean(&formed)),
+                f(mean(&dist)),
+                f(mean(&unassigned)),
+                f(mean(&msgs)),
+                f(mean(&msgs) / organizers as f64),
+            ]);
+        }
+    }
+    table
+}

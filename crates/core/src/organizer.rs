@@ -212,7 +212,7 @@ impl OrganizerEngine {
         let tasks: Vec<TaskAnnouncement> =
             n.open.iter().map(|t| n.announcements[t].clone()).collect();
         vec![
-            Action::Broadcast(Msg::CallForProposals {
+            Action::broadcast(Msg::CallForProposals {
                 nego,
                 tasks,
                 round: n.round,
@@ -311,10 +311,7 @@ impl OrganizerEngine {
         for (task, node) in &selection.assignments {
             n.pending.insert(*task, *node);
             n.metrics.awards_sent += 1;
-            actions.push(Action::Send {
-                to: *node,
-                msg: Msg::Award { nego, task: *task },
-            });
+            actions.push(Action::send(*node, Msg::Award { nego, task: *task }));
         }
         // Tasks with no candidates stay open for the next round.
         n.open = selection.unassigned.iter().copied().collect();
@@ -534,10 +531,7 @@ impl OrganizerEngine {
         members.dedup();
         let mut actions: Vec<Action> = members
             .into_iter()
-            .map(|m| Action::Send {
-                to: m,
-                msg: Msg::Release { nego },
-            })
+            .map(|m| Action::send(m, Msg::Release { nego }))
             .collect();
         actions.push(Action::Event(NegoEvent::Dissolved { nego }));
         actions
@@ -603,9 +597,10 @@ mod tests {
         let (nego, actions) = org.start_service(SimTime::ZERO, &service(2)).unwrap();
         assert_eq!(nego.organizer, 0);
         assert!(matches!(
-            &actions[0],
-            Action::Broadcast(Msg::CallForProposals { tasks, round: 0, .. }) if tasks.len() == 2
+            actions[0].payload(),
+            Some(Msg::CallForProposals { tasks, round: 0, .. }) if tasks.len() == 2
         ));
+        assert!(matches!(&actions[0], Action::Broadcast(_)));
         assert!(matches!(&actions[1], Action::Timer { .. }));
     }
 
@@ -618,10 +613,7 @@ mod tests {
         let award_to: Vec<Pid> = actions
             .iter()
             .filter_map(|a| match a {
-                Action::Send {
-                    to,
-                    msg: Msg::Award { .. },
-                } => Some(*to),
+                Action::Send { to, msg } if matches!(&**msg, Msg::Award { .. }) => Some(*to),
                 _ => None,
             })
             .collect();
@@ -637,10 +629,7 @@ mod tests {
         let award_to: Vec<Pid> = actions
             .iter()
             .filter_map(|a| match a {
-                Action::Send {
-                    to,
-                    msg: Msg::Award { .. },
-                } => Some(*to),
+                Action::Send { to, msg } if matches!(&**msg, Msg::Award { .. }) => Some(*to),
                 _ => None,
             })
             .collect();
@@ -687,7 +676,7 @@ mod tests {
         let actions = org.on_timer(SimTime(100_000), nego, TimerKind::ProposalDeadline);
         assert!(actions
             .iter()
-            .any(|a| matches!(a, Action::Broadcast(Msg::CallForProposals { round: 1, .. }))));
+            .any(|a| matches!(a.payload(), Some(Msg::CallForProposals { round: 1, .. }))));
         // Round 1 deadline, still nothing: give up.
         let actions = org.on_timer(SimTime(200_000), nego, TimerKind::ProposalDeadline);
         assert!(actions.iter().any(|a| matches!(
@@ -714,7 +703,7 @@ mod tests {
         );
         assert!(actions
             .iter()
-            .any(|a| matches!(a, Action::Broadcast(Msg::CallForProposals { round: 1, .. }))));
+            .any(|a| matches!(a.payload(), Some(Msg::CallForProposals { round: 1, .. }))));
         // In the retry round node 2 proposes again and wins.
         org.on_message(
             SimTime(160_000),
@@ -724,10 +713,7 @@ mod tests {
         let actions = org.on_timer(SimTime(300_000), nego, TimerKind::ProposalDeadline);
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send {
-                to: 2,
-                msg: Msg::Award { .. }
-            }
+            Action::Send { to: 2, msg } if matches!(&**msg, Msg::Award { .. })
         )));
     }
 
@@ -741,7 +727,7 @@ mod tests {
         // Node 1 was the only candidate and is struck: new CFP round.
         assert!(actions
             .iter()
-            .any(|a| matches!(a, Action::Broadcast(Msg::CallForProposals { round: 1, .. }))));
+            .any(|a| matches!(a.payload(), Some(Msg::CallForProposals { round: 1, .. }))));
         assert_eq!(org.metrics(nego).unwrap().declines, 1);
     }
 
@@ -770,9 +756,10 @@ mod tests {
         assert!(actions
             .iter()
             .any(|a| matches!(a, Action::Event(NegoEvent::MemberFailed { node: 2, .. }))));
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Broadcast(Msg::CallForProposals { .. }))));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Broadcast(msg) if matches!(&**msg, Msg::CallForProposals { .. })
+        )));
         assert_eq!(org.metrics(nego).unwrap().reconfigurations, 1);
     }
 
@@ -829,10 +816,7 @@ mod tests {
         let actions = org.dissolve(nego);
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send {
-                to: 2,
-                msg: Msg::Release { .. }
-            }
+            Action::Send { to: 2, msg } if matches!(&**msg, Msg::Release { .. })
         )));
         assert!(actions
             .iter()
@@ -877,10 +861,7 @@ mod tests {
         // Equal distance; comm-cost tie-break favours the local node.
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send {
-                to: 0,
-                msg: Msg::Award { .. }
-            }
+            Action::Send { to: 0, msg } if matches!(&**msg, Msg::Award { .. })
         )));
     }
 }

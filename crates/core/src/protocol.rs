@@ -19,6 +19,8 @@
 //! Engines are sans-IO: they consume [`Msg`]s and emit [`Action`]s; the DES
 //! glue and the live actor glue translate actions into their transports.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use qosc_netsim::SimDuration;
@@ -82,8 +84,11 @@ pub struct TaskProposal {
     pub reward: f64,
 }
 
-/// Protocol messages. `Clone` because broadcasts fan the same payload to
-/// every neighbour.
+/// Protocol messages. Delivery is zero-copy: engines emit messages into
+/// [`Action`]s as `Arc<Msg>`, and every backend fans a broadcast out by
+/// cloning the pointer — one payload allocation regardless of recipient
+/// count. (`Clone` is kept for building fixtures and re-announcing tasks,
+/// never used on a delivery path.)
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Msg {
     /// Step 1: organizer broadcasts service description + preferences.
@@ -228,16 +233,20 @@ pub fn decode_timer(token: u64) -> Option<(NegoId, TimerKind)> {
 }
 
 /// What an engine wants its transport to do.
+///
+/// Message-bearing actions hold their payload behind [`Arc`] so the
+/// backends can route and fan it out without ever cloning the [`Msg`]
+/// itself; construct them with [`Action::broadcast`] / [`Action::send`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Action {
     /// One-hop broadcast from this node.
-    Broadcast(Msg),
+    Broadcast(Arc<Msg>),
     /// Unicast to a peer.
     Send {
         /// Destination node.
         to: Pid,
         /// Payload.
-        msg: Msg,
+        msg: Arc<Msg>,
     },
     /// Arm a one-shot timer at this node.
     Timer {
@@ -248,6 +257,31 @@ pub enum Action {
     },
     /// Surface a negotiation event to the host (metrics, assertions).
     Event(crate::metrics::NegoEvent),
+}
+
+impl Action {
+    /// Wraps `msg` for a one-hop broadcast (the payload's single
+    /// allocation — every recipient shares it).
+    pub fn broadcast(msg: Msg) -> Self {
+        Action::Broadcast(Arc::new(msg))
+    }
+
+    /// Wraps `msg` for a unicast to `to`.
+    pub fn send(to: Pid, msg: Msg) -> Self {
+        Action::Send {
+            to,
+            msg: Arc::new(msg),
+        }
+    }
+
+    /// The wire payload this action carries, if any.
+    pub fn payload(&self) -> Option<&Msg> {
+        match self {
+            Action::Broadcast(msg) => Some(msg),
+            Action::Send { msg, .. } => Some(msg),
+            Action::Timer { .. } | Action::Event(_) => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -315,14 +315,14 @@ impl ProviderEngine {
             });
         }
         vec![
-            Action::Send {
-                to: nego.organizer,
-                msg: Msg::Proposal {
+            Action::send(
+                nego.organizer,
+                Msg::Proposal {
                     nego,
                     from: self.id,
                     proposals,
                 },
-            },
+            ),
             Action::Timer {
                 delay: self.config.hold_ttl,
                 token: encode_timer(nego, TimerKind::HoldExpiry),
@@ -334,36 +334,36 @@ impl ProviderEngine {
         let Some(hold) = self.holds.remove(&(nego, task)) else {
             // Hold expired (or we never proposed): we cannot honour the
             // award any more.
-            return vec![Action::Send {
-                to: nego.organizer,
-                msg: Msg::Decline {
+            return vec![Action::send(
+                nego.organizer,
+                Msg::Decline {
                     nego,
                     task,
                     from: self.id,
                 },
-            }];
+            )];
         };
         if self.ledger.commit(hold).is_err() {
             // The tentative hold expired between proposal and award.
-            return vec![Action::Send {
-                to: nego.organizer,
-                msg: Msg::Decline {
+            return vec![Action::send(
+                nego.organizer,
+                Msg::Decline {
                     nego,
                     task,
                     from: self.id,
                 },
-            }];
+            )];
         }
         self.committed.insert((nego, task), hold);
         self.active.entry(nego).or_default().push(task);
-        let mut actions = vec![Action::Send {
-            to: nego.organizer,
-            msg: Msg::Accept {
+        let mut actions = vec![Action::send(
+            nego.organizer,
+            Msg::Accept {
                 nego,
                 task,
                 from: self.id,
             },
-        }];
+        )];
         if !self.heartbeat_armed.get(&nego).copied().unwrap_or(false) {
             self.heartbeat_armed.insert(nego, true);
             actions.push(Action::Timer {
@@ -385,13 +385,15 @@ impl ProviderEngine {
         }
         let mut actions: Vec<Action> = tasks
             .iter()
-            .map(|t| Action::Send {
-                to: nego.organizer,
-                msg: Msg::Heartbeat {
-                    nego,
-                    task: *t,
-                    from: self.id,
-                },
+            .map(|t| {
+                Action::send(
+                    nego.organizer,
+                    Msg::Heartbeat {
+                        nego,
+                        task: *t,
+                        from: self.id,
+                    },
+                )
             })
             .collect();
         actions.push(Action::Timer {
@@ -480,10 +482,10 @@ mod tests {
         let before = p.ledger().available();
         let actions = p.on_message(SimTime(1000), 0, &cfp(vec![announcement(0)]));
         let proposal = actions.iter().find_map(|a| match a {
-            Action::Send {
-                to: 0,
-                msg: Msg::Proposal { proposals, .. },
-            } => Some(proposals.clone()),
+            Action::Send { to: 0, msg } => match &**msg {
+                Msg::Proposal { proposals, .. } => Some(proposals.clone()),
+                _ => None,
+            },
             _ => None,
         });
         let proposals = proposal.expect("provider should propose");
@@ -507,11 +509,8 @@ mod tests {
         let actions = p.on_message(SimTime(1000), 0, &cfp(vec![announcement(0)]));
         let proposals = actions
             .iter()
-            .find_map(|a| match a {
-                Action::Send {
-                    msg: Msg::Proposal { proposals, .. },
-                    ..
-                } => Some(proposals.clone()),
+            .find_map(|a| match a.payload() {
+                Some(Msg::Proposal { proposals, .. }) => Some(proposals.clone()),
                 _ => None,
             })
             .unwrap();
@@ -572,10 +571,7 @@ mod tests {
         );
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send {
-                to: 0,
-                msg: Msg::Accept { .. }
-            }
+            Action::Send { to: 0, msg } if matches!(&**msg, Msg::Accept { .. })
         )));
         assert_eq!(p.executing(), vec![(nego(), TaskId(0))]);
         // Committed grants survive expiry.
@@ -608,10 +604,7 @@ mod tests {
         );
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send {
-                to: 0,
-                msg: Msg::Decline { .. }
-            }
+            Action::Send { to: 0, msg } if matches!(&**msg, Msg::Decline { .. })
         )));
         assert!(p.executing().is_empty());
     }
@@ -631,10 +624,7 @@ mod tests {
         let actions = p.on_timer(SimTime(502_000), nego(), TimerKind::HeartbeatSend);
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::Send {
-                to: 0,
-                msg: Msg::Heartbeat { .. }
-            }
+            Action::Send { to: 0, msg } if matches!(&**msg, Msg::Heartbeat { .. })
         )));
         // Re-armed.
         assert!(actions.iter().any(|a| matches!(a, Action::Timer { .. })));
@@ -672,11 +662,8 @@ mod tests {
         );
         let proposals = actions
             .iter()
-            .find_map(|a| match a {
-                Action::Send {
-                    msg: Msg::Proposal { proposals, .. },
-                    ..
-                } => Some(proposals.clone()),
+            .find_map(|a| match a.payload() {
+                Some(Msg::Proposal { proposals, .. }) => Some(proposals.clone()),
                 _ => None,
             })
             .unwrap();
@@ -706,11 +693,8 @@ mod tests {
         let a1 = p.on_message(SimTime(1000), 0, &mk(n1));
         let a2 = p.on_message(SimTime(1100), 1, &mk(n2));
         let demand_of = |actions: &[Action]| {
-            actions.iter().find_map(|a| match a {
-                Action::Send {
-                    msg: Msg::Proposal { proposals, .. },
-                    ..
-                } => Some(proposals[0].demand),
+            actions.iter().find_map(|a| match a.payload() {
+                Some(Msg::Proposal { proposals, .. }) => Some(proposals[0].demand),
                 _ => None,
             })
         };

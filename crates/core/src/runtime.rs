@@ -241,18 +241,20 @@ impl CoalitionNode {
     /// each CFP broadcast (see type docs). Providers never broadcast, so
     /// one pass suffices.
     fn absorb_local(&mut self, now: SimTime, actions: Vec<Action>) -> Vec<Action> {
-        if self.provider.is_none()
-            || !actions
-                .iter()
-                .any(|a| matches!(a, Action::Broadcast(Msg::CallForProposals { .. })))
-        {
+        let is_cfp = |a: &Action| {
+            matches!(a.payload(), Some(Msg::CallForProposals { .. }))
+                && matches!(a, Action::Broadcast(_))
+        };
+        if self.provider.is_none() || !actions.iter().any(is_cfp) {
             return actions;
         }
         let mut out = Vec::with_capacity(actions.len() + 2);
         for action in actions {
-            if let Action::Broadcast(msg @ Msg::CallForProposals { .. }) = &action {
-                let p = self.provider.as_mut().expect("checked above");
-                out.extend(p.on_message(now, self.id, msg));
+            if let Action::Broadcast(msg) = &action {
+                if matches!(&**msg, Msg::CallForProposals { .. }) {
+                    let p = self.provider.as_mut().expect("checked above");
+                    out.extend(p.on_message(now, self.id, msg));
+                }
             }
             out.push(action);
         }
@@ -684,8 +686,17 @@ pub fn single_organizer_scenario(
 // ---------------------------------------------------------------------------
 
 enum DirectKind {
-    Deliver { from: Pid, to: Pid, msg: Msg },
-    Timer { node: Pid, token: u64 },
+    Deliver {
+        from: Pid,
+        to: Pid,
+        /// Shared payload: a broadcast's deliveries all point at one
+        /// allocation.
+        msg: Arc<Msg>,
+    },
+    Timer {
+        node: Pid,
+        token: u64,
+    },
 }
 
 struct DirectEvent {
@@ -758,7 +769,8 @@ impl DirectRuntime {
             match action {
                 Action::Broadcast(msg) => {
                     self.broadcasts += 1;
-                    // Ascending-pid fan-out mirrors the DES's node order.
+                    // Ascending-pid fan-out mirrors the DES's node order;
+                    // each delivery clones the Arc, never the payload.
                     let mut targets = std::mem::take(&mut self.bcast_scratch);
                     targets.clear();
                     targets.extend(self.nodes.keys().copied().filter(|p| *p != at));
@@ -768,7 +780,7 @@ impl DirectRuntime {
                             DirectKind::Deliver {
                                 from: at,
                                 to,
-                                msg: msg.clone(),
+                                msg: Arc::clone(&msg),
                             },
                         );
                     }
@@ -912,15 +924,17 @@ impl Runtime for DirectRuntime {
 // Actor backend: live threads, wall-clock timers.
 // ---------------------------------------------------------------------------
 
-/// Wire format of the actor backend (Clone: broadcasts fan copies).
+/// Wire format of the actor backend. `Clone` lets the [`Directory`] fan a
+/// broadcast to every mailbox, but the payload rides behind `Arc` — each
+/// fan-out copy is a pointer clone, not a message clone.
 #[derive(Clone)]
 pub enum ActorWire {
     /// A protocol message from a peer.
     Proto {
         /// Sending node.
         from: Pid,
-        /// The payload.
-        msg: Msg,
+        /// The shared payload.
+        msg: Arc<Msg>,
     },
     /// A timer armed by one of the node's engines fired.
     Timer(u64),
@@ -948,6 +962,8 @@ impl ActorNode {
             match action {
                 Action::Broadcast(msg) => {
                     self.sent.fetch_add(1, AtomicOrdering::Relaxed);
+                    // The directory clones the wire struct per peer; every
+                    // clone shares this one payload allocation.
                     self.dir.broadcast(id, &ActorWire::Proto { from: id, msg });
                 }
                 Action::Send { to, msg } => {

@@ -13,8 +13,11 @@
 //! * [`Point`] / [`Area`] — placement geometry.
 //! * [`Mobility`] / [`MobilityState`] — static & random-waypoint walks.
 //! * [`RadioModel`] — range, bitrate, latency, loss.
+//! * [`NeighbourIndex`] — spatial grid behind neighbour queries and
+//!   broadcast fan-out (rebuilt on each mobility tick).
 //! * [`Simulator`] + [`NetApp`] — the event loop and the sans-IO protocol
-//!   hook; applications send via [`Ctx`].
+//!   hook; applications send via [`Ctx`]. Payloads ride the heap behind
+//!   `Arc<M>`: a broadcast allocates once regardless of fan-out.
 //! * [`NetStats`] — message/latency counters for the T1 experiment.
 //!
 //! Determinism: all randomness flows through one seeded `ChaCha8Rng`, events
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 mod geometry;
+mod grid;
 mod mobility;
 mod radio;
 mod sim;
@@ -32,6 +36,7 @@ mod stats;
 mod time;
 
 pub use geometry::{Area, Point};
+pub use grid::NeighbourIndex;
 pub use mobility::{Mobility, MobilityState};
 pub use radio::RadioModel;
 pub use sim::{Ctx, NetApp, NodeId, SimConfig, Simulator};

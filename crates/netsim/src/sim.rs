@@ -8,14 +8,28 @@
 //! applies the commands after each handler returns, which keeps handlers
 //! free of borrow entanglement and makes every run bit-reproducible for a
 //! given seed (events are ordered by `(time, sequence-number)`).
+//!
+//! # The zero-copy delivery plane
+//!
+//! Message payloads travel the heap behind [`Arc`]: a broadcast allocates
+//! its payload once and every per-recipient delivery event clones the
+//! pointer, not the message (`M` needs no `Clone` bound at all). Fan-out
+//! targets come from the [`NeighbourIndex`] spatial grid — rebuilt on
+//! each mobility tick, extended on `add_node` — so a broadcast scans only
+//! the 3×3 cell block around the sender instead of the whole node table.
+//! Handlers see borrowed views throughout: `&M` payloads and a [`Ctx`]
+//! that reads the live node table directly instead of copying positions
+//! per event.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::geometry::{Area, Point};
+use crate::grid::NeighbourIndex;
 use crate::mobility::{Mobility, MobilityState};
 use crate::radio::RadioModel;
 use crate::stats::NetStats;
@@ -74,7 +88,9 @@ enum EventKind<M> {
         dst: NodeId,
         bytes: u64,
         sent_at: SimTime,
-        msg: M,
+        /// Shared payload: all deliveries of one broadcast point at the
+        /// same allocation.
+        msg: Arc<M>,
     },
     Timer {
         node: NodeId,
@@ -121,12 +137,12 @@ enum Command<M> {
         src: NodeId,
         dst: NodeId,
         bytes: u64,
-        msg: M,
+        msg: Arc<M>,
     },
     Broadcast {
         src: NodeId,
         bytes: u64,
-        msg: M,
+        msg: Arc<M>,
     },
     Timer {
         node: NodeId,
@@ -136,35 +152,41 @@ enum Command<M> {
 }
 
 /// Handler-side view of the simulation: current time, RNG, connectivity
-/// queries, and the command sink.
+/// queries, and the command sink. Borrows the live node table — nothing
+/// is copied per event.
 pub struct Ctx<'a, M> {
     /// Current simulated time.
     pub now: SimTime,
     /// Deterministic per-run RNG, shared with the simulator.
     pub rng: &'a mut ChaCha8Rng,
     cmds: Vec<Command<M>>,
-    positions: Vec<(Point, bool)>,
+    nodes: &'a [NodeSlot],
+    index: &'a NeighbourIndex,
     radio: &'a RadioModel,
 }
 
 impl<'a, M> Ctx<'a, M> {
     /// Sends `msg` from `src` to `dst` (single hop). Delivery, loss and
     /// latency are decided by the simulator from the topology at *send*
-    /// time.
-    pub fn unicast(&mut self, src: NodeId, dst: NodeId, bytes: u64, msg: M) {
+    /// time. Accepts an owned payload or an already-shared `Arc<M>`.
+    pub fn unicast(&mut self, src: NodeId, dst: NodeId, bytes: u64, msg: impl Into<Arc<M>>) {
         self.cmds.push(Command::Unicast {
             src,
             dst,
             bytes,
-            msg,
+            msg: msg.into(),
         });
     }
 
     /// Broadcasts `msg` from `src` to every in-range, live neighbour.
-    /// Requires `M: Clone` at application level; cloning happens in the
-    /// simulator per delivery.
-    pub fn broadcast(&mut self, src: NodeId, bytes: u64, msg: M) {
-        self.cmds.push(Command::Broadcast { src, bytes, msg });
+    /// The payload is allocated (or shared) once; every delivery clones
+    /// the `Arc`, never the message.
+    pub fn broadcast(&mut self, src: NodeId, bytes: u64, msg: impl Into<Arc<M>>) {
+        self.cmds.push(Command::Broadcast {
+            src,
+            bytes,
+            msg: msg.into(),
+        });
     }
 
     /// Arms a one-shot timer at `node` after `delay`.
@@ -172,31 +194,31 @@ impl<'a, M> Ctx<'a, M> {
         self.cmds.push(Command::Timer { node, delay, token });
     }
 
-    /// Live single-hop neighbours of `node` under the current topology.
+    /// Live single-hop neighbours of `node` under the current topology,
+    /// in ascending id order (answered from the spatial index).
     pub fn neighbours(&self, node: NodeId) -> Vec<NodeId> {
-        let Some(&(p, up)) = self.positions.get(node.0 as usize) else {
+        let Some(slot) = self.nodes.get(node.0 as usize) else {
             return Vec::new();
         };
-        if !up {
+        if !slot.up {
             return Vec::new();
         }
-        self.positions
-            .iter()
-            .enumerate()
-            .filter(|(i, (q, qup))| {
-                *i != node.0 as usize && *qup && self.radio.in_range(p.distance(q))
-            })
-            .map(|(i, _)| NodeId(i as u32))
-            .collect()
+        let mut out = Vec::new();
+        self.index.candidates_into(slot.pos, &mut out);
+        out.retain(|&c| {
+            c != node && {
+                let s = &self.nodes[c.0 as usize];
+                s.up && self.radio.in_range(slot.pos.distance(&s.pos))
+            }
+        });
+        out.sort_unstable();
+        out
     }
 
     /// Whether two nodes currently share a live link.
     pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
-        match (
-            self.positions.get(a.0 as usize),
-            self.positions.get(b.0 as usize),
-        ) {
-            (Some(&(pa, ua)), Some(&(pb, ub))) => ua && ub && self.radio.in_range(pa.distance(&pb)),
+        match (self.nodes.get(a.0 as usize), self.nodes.get(b.0 as usize)) {
+            (Some(sa), Some(sb)) => sa.up && sb.up && self.radio.in_range(sa.pos.distance(&sb.pos)),
             _ => false,
         }
     }
@@ -212,16 +234,25 @@ pub struct Simulator<M> {
     rng: ChaCha8Rng,
     stats: NetStats,
     mobility_armed: bool,
+    /// Spatial grid over the node positions; rebuilt on every mobility
+    /// tick, extended in place by `add_node`. Queries filter liveness
+    /// against `nodes`, so up/down events never touch the index.
+    index: NeighbourIndex,
     /// Reused per-broadcast target buffer: broadcast fan-out is the
     /// 256-node hot path, and a fresh `Vec` per delivery showed up in
     /// profiles.
     bcast_scratch: Vec<(NodeId, f64)>,
+    /// Reused grid-candidate buffer for the same reason.
+    cand_scratch: Vec<NodeId>,
+    /// Reused handler command buffer (one per event otherwise).
+    cmd_scratch: Vec<Command<M>>,
 }
 
-impl<M: Clone> Simulator<M> {
+impl<M> Simulator<M> {
     /// Creates an empty simulation.
     pub fn new(config: SimConfig) -> Self {
         let rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let index = NeighbourIndex::new(&config.area, config.radio.range_m);
         Self {
             config,
             nodes: Vec::new(),
@@ -231,7 +262,10 @@ impl<M: Clone> Simulator<M> {
             rng,
             stats: NetStats::default(),
             mobility_armed: false,
+            index,
             bcast_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
+            cmd_scratch: Vec::new(),
         }
     }
 
@@ -245,6 +279,7 @@ impl<M: Clone> Simulator<M> {
             mobility: MobilityState::new(mobility, pos),
             up: true,
         });
+        self.index.insert(id, pos);
         if mobile && !self.mobility_armed {
             self.mobility_armed = true;
             let at = self.now + self.config.mobility_tick;
@@ -315,9 +350,10 @@ impl<M: Clone> Simulator<M> {
     }
 
     /// Buffer-reusing variant of [`Simulator::neighbours`]: clears `out`
-    /// and appends the live single-hop neighbours of `node`. Callers on
-    /// hot paths keep one scratch `Vec` alive across queries instead of
-    /// allocating per call.
+    /// and appends the live single-hop neighbours of `node` in ascending
+    /// id order. Answered from the [`NeighbourIndex`] — only the 3×3 cell
+    /// block around the node is scanned; callers on hot paths keep one
+    /// scratch `Vec` alive across queries instead of allocating per call.
     pub fn neighbours_into(&self, node: NodeId, out: &mut Vec<NodeId>) {
         out.clear();
         let Some(slot) = self.nodes.get(node.0 as usize) else {
@@ -326,17 +362,14 @@ impl<M: Clone> Simulator<M> {
         if !slot.up {
             return;
         }
-        out.extend(
-            self.nodes
-                .iter()
-                .enumerate()
-                .filter(|(i, s)| {
-                    *i != node.0 as usize
-                        && s.up
-                        && self.config.radio.in_range(slot.pos.distance(&s.pos))
-                })
-                .map(|(i, _)| NodeId(i as u32)),
-        );
+        self.index.candidates_into(slot.pos, out);
+        out.retain(|&c| {
+            c != node && {
+                let s = &self.nodes[c.0 as usize];
+                s.up && self.config.radio.in_range(slot.pos.distance(&s.pos))
+            }
+        });
+        out.sort_unstable();
     }
 
     /// All nodes reachable from `node` over live multi-hop paths
@@ -373,8 +406,8 @@ impl<M: Clone> Simulator<M> {
         self.heap.push(Scheduled { at, seq, kind });
     }
 
-    fn apply_commands(&mut self, cmds: Vec<Command<M>>) {
-        for cmd in cmds {
+    fn apply_commands(&mut self, cmds: &mut Vec<Command<M>>) {
+        for cmd in cmds.drain(..) {
             match cmd {
                 Command::Unicast {
                     src,
@@ -391,7 +424,7 @@ impl<M: Clone> Simulator<M> {
         }
     }
 
-    fn submit_unicast(&mut self, src: NodeId, dst: NodeId, bytes: u64, msg: M) {
+    fn submit_unicast(&mut self, src: NodeId, dst: NodeId, bytes: u64, msg: Arc<M>) {
         self.stats.unicasts_sent += 1;
         let (Some(s), Some(d)) = (
             self.nodes.get(src.0 as usize),
@@ -428,7 +461,7 @@ impl<M: Clone> Simulator<M> {
         );
     }
 
-    fn submit_broadcast(&mut self, src: NodeId, bytes: u64, msg: M) {
+    fn submit_broadcast(&mut self, src: NodeId, bytes: u64, msg: Arc<M>) {
         self.stats.broadcasts_sent += 1;
         let Some(s) = self.nodes.get(src.0 as usize) else {
             return;
@@ -438,16 +471,22 @@ impl<M: Clone> Simulator<M> {
         }
         let src_pos = s.pos;
         let latency = self.config.radio.latency(bytes);
+        // Candidates from the spatial index, sorted so the per-target
+        // loss draws (and delivery sequence numbers) happen in ascending
+        // id order — the order the full-table scan used to produce.
+        let mut cands = std::mem::take(&mut self.cand_scratch);
+        self.index.candidates_into(src_pos, &mut cands);
+        cands.sort_unstable();
         let mut targets = std::mem::take(&mut self.bcast_scratch);
         targets.clear();
         targets.extend(
-            self.nodes
+            cands
                 .iter()
-                .enumerate()
-                .filter(|(i, d)| *i != src.0 as usize && d.up)
-                .map(|(i, d)| (NodeId(i as u32), src_pos.distance(&d.pos)))
+                .filter(|&&c| c != src && self.nodes[c.0 as usize].up)
+                .map(|&c| (c, src_pos.distance(&self.nodes[c.0 as usize].pos)))
                 .filter(|(_, dist)| self.config.radio.in_range(*dist)),
         );
+        self.cand_scratch = cands;
         for &(dst, dist) in &targets {
             if self.config.radio.drops(dist, &mut self.rng) {
                 self.stats.unicasts_lost += 1;
@@ -462,7 +501,8 @@ impl<M: Clone> Simulator<M> {
                     dst,
                     bytes,
                     sent_at,
-                    msg: msg.clone(),
+                    // Shared payload: the broadcast's one allocation.
+                    msg: Arc::clone(&msg),
                 },
             );
         }
@@ -474,6 +514,26 @@ impl<M: Clone> Simulator<M> {
     pub fn step<A: NetApp<M>>(&mut self, app: &mut A) -> Option<SimTime> {
         let ev = self.heap.pop()?;
         self.now = ev.at;
+        // Handlers run against a borrowed Ctx view of the node table and
+        // fill the reused command buffer; commands are applied after the
+        // handler returns and the buffer goes back into the scratch slot.
+        macro_rules! with_ctx {
+            (|$ctx:ident| $call:expr) => {{
+                let cmds = std::mem::take(&mut self.cmd_scratch);
+                let mut $ctx = Ctx {
+                    now: self.now,
+                    rng: &mut self.rng,
+                    cmds,
+                    nodes: &self.nodes,
+                    index: &self.index,
+                    radio: &self.config.radio,
+                };
+                $call;
+                let mut cmds = $ctx.cmds;
+                self.apply_commands(&mut cmds);
+                self.cmd_scratch = cmds;
+            }};
+        }
         match ev.kind {
             EventKind::MobilityTick => {
                 let dt = self.config.mobility_tick;
@@ -481,6 +541,8 @@ impl<M: Clone> Simulator<M> {
                 for slot in &mut self.nodes {
                     slot.pos = slot.mobility.advance(slot.pos, dt, &area, &mut self.rng);
                 }
+                // Positions changed: re-bin the spatial index.
+                self.index.rebuild(self.nodes.iter().map(|s| s.pos));
                 let at = self.now + dt;
                 self.push(at, EventKind::MobilityTick);
             }
@@ -497,65 +559,27 @@ impl<M: Clone> Simulator<M> {
                     self.stats.broadcast_deliveries += 1;
                     let latency = self.now.since(sent_at);
                     self.stats.record_delivery(latency, bytes);
-                    let mut ctx = Ctx {
-                        now: self.now,
-                        rng: &mut self.rng,
-                        cmds: Vec::new(),
-                        positions: self.nodes.iter().map(|s| (s.pos, s.up)).collect(),
-                        radio: &self.config.radio,
-                    };
-                    app.on_message(&mut ctx, dst, src, &msg);
-                    let cmds = ctx.cmds;
-                    self.apply_commands(cmds);
+                    with_ctx!(|ctx| app.on_message(&mut ctx, dst, src, &msg));
                 } else {
                     self.stats.unicasts_unreachable += 1;
                 }
             }
             EventKind::Timer { node, token } => {
                 if self.is_up(node) {
-                    let mut ctx = Ctx {
-                        now: self.now,
-                        rng: &mut self.rng,
-                        cmds: Vec::new(),
-                        positions: self.nodes.iter().map(|s| (s.pos, s.up)).collect(),
-                        radio: &self.config.radio,
-                    };
-                    app.on_timer(&mut ctx, node, token);
-                    let cmds = ctx.cmds;
-                    self.apply_commands(cmds);
+                    with_ctx!(|ctx| app.on_timer(&mut ctx, node, token));
                 }
             }
             EventKind::Down(node) => {
                 if let Some(s) = self.nodes.get_mut(node.0 as usize) {
                     s.up = false;
                 }
-                let positions = self.nodes.iter().map(|s| (s.pos, s.up)).collect();
-                let mut ctx = Ctx {
-                    now: self.now,
-                    rng: &mut self.rng,
-                    cmds: Vec::new(),
-                    positions,
-                    radio: &self.config.radio,
-                };
-                app.on_node_down(&mut ctx, node);
-                let cmds = ctx.cmds;
-                self.apply_commands(cmds);
+                with_ctx!(|ctx| app.on_node_down(&mut ctx, node));
             }
             EventKind::Up(node) => {
                 if let Some(s) = self.nodes.get_mut(node.0 as usize) {
                     s.up = true;
                 }
-                let positions = self.nodes.iter().map(|s| (s.pos, s.up)).collect();
-                let mut ctx = Ctx {
-                    now: self.now,
-                    rng: &mut self.rng,
-                    cmds: Vec::new(),
-                    positions,
-                    radio: &self.config.radio,
-                };
-                app.on_node_up(&mut ctx, node);
-                let cmds = ctx.cmds;
-                self.apply_commands(cmds);
+                with_ctx!(|ctx| app.on_node_up(&mut ctx, node));
             }
         }
         Some(self.now)

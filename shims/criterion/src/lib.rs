@@ -8,7 +8,12 @@
 //! the form
 //! `{"benchmark":…,"mean_ns":…,"median_ns":…,"stddev_ns":…,"min_ns":…,"samples":…}`
 //! on stdout; set `BENCH_JSON=path/to/BENCH_<suite>.json` to also append
-//! the lines to a file, so B1–B5 regressions can be diffed run-over-run.
+//! the lines to a file, so bench regressions can be diffed run-over-run.
+//!
+//! Set `BENCH_SMOKE=1` to cap every benchmark at 3 timed samples: CI runs
+//! the suites in this mode on pull requests — enough to keep the benches
+//! compiling, running and emitting comparable JSON without burning
+//! minutes on statistical confidence.
 
 use std::fmt::Display;
 use std::io::Write as _;
@@ -160,6 +165,13 @@ impl Bencher {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    // Smoke mode (CI on pull requests): a handful of samples proves the
+    // bench runs and produces a JSON line without the full batch count.
+    let samples = if std::env::var_os("BENCH_SMOKE").is_some() {
+        samples.min(3)
+    } else {
+        samples
+    };
     let mut b = Bencher::default();
     // Warm-up sample, discarded (caches, branch predictors, allocator).
     f(&mut b);

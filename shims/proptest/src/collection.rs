@@ -69,6 +69,29 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
         let n = self.size.sample(rng);
         (0..n).map(|_| self.element.generate(rng)).collect()
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        // Length first (the aggressive cut to the minimum, then one
+        // element off the tail), then element-wise shrinks — capped at
+        // two candidates per slot to bound the branching factor.
+        if value.len() > self.size.min {
+            out.push(value[..self.size.min].to_vec());
+            let mut one_less = value.clone();
+            one_less.pop();
+            if one_less.len() > self.size.min {
+                out.push(one_less);
+            }
+        }
+        for (i, v) in value.iter().enumerate() {
+            for candidate in self.element.shrink(v).into_iter().take(2) {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
+    }
 }
 
 /// Strategy for `HashSet<S::Value>` with a size drawn from `size`.

@@ -1,11 +1,17 @@
 //! Offline shim for `proptest`: random-input property testing with the
-//! upstream macro/trait surface this workspace uses, minus shrinking.
+//! upstream macro/trait surface this workspace uses, plus minimal
+//! value-tree shrinking for the integer/usize (and tuple/vec) strategies.
 //!
 //! Each `proptest!` test derives its RNG seed from the test's module
 //! path and name via FNV-1a, then runs `ProptestConfig::cases`
 //! deterministic cases through [`rand_chacha::ChaCha8Rng`], so failures
-//! reproduce exactly across runs and machines. On failure the offending
-//! case index and seed are printed by the panic message.
+//! reproduce exactly across runs and machines. When a case fails, the
+//! runner greedily re-runs [`strategy::Strategy::shrink`] candidates
+//! (integers walk toward their range's lower bound, tuples shrink one
+//! component at a time, vecs cut length then elements) and re-raises the
+//! panic on the simplest input that still fails, printing that input
+//! first. Strategies without a canonical simplification order —
+//! `prop_map`, floats, `hash_set` — simply don't shrink.
 
 pub mod collection;
 pub mod strategy;
@@ -34,6 +40,63 @@ pub fn seed_for(test_path: &str) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h
+}
+
+/// Drives one property: `cases` deterministic generate-and-run rounds,
+/// and on the first failure a greedy [`strategy::minimize`] search that
+/// re-raises the panic on the simplest input that still fails (with the
+/// original input's panic already printed and the probe panics silenced).
+///
+/// This is the engine behind the `proptest!` macro; it is public so the
+/// shim can test its shrink-and-rerun behaviour directly.
+pub fn run_property<S: strategy::Strategy>(
+    name: &str,
+    cases: u32,
+    base: u64,
+    strategy: &S,
+    body: impl Fn(S::Value),
+) {
+    use rand::SeedableRng;
+    use std::panic::{catch_unwind, set_hook, take_hook, AssertUnwindSafe};
+    // The panic hook is process-global; concurrently failing properties
+    // must serialise their silence-search-restore windows or the last
+    // restorer could reinstall another search's silent hook for good.
+    // (An unrelated test that fails *during* someone's shrink window
+    // still fails — only its backtrace printout is suppressed.)
+    static HOOK_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    for case in 0..cases as u64 {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(base ^ case);
+        let values = strategy.generate(&mut rng);
+        if catch_unwind(AssertUnwindSafe(|| body(values.clone()))).is_ok() {
+            continue;
+        }
+        // The case failed (its panic message has already printed).
+        // Search for a simpler failing input with the panic hook
+        // silenced, then re-run the minimal case outside catch_unwind so
+        // the test fails with the real message.
+        let (minimal, steps) = {
+            let _guard = HOOK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+            let hook = take_hook();
+            set_hook(Box::new(|_| {}));
+            let result = strategy::minimize(strategy, values, |v| {
+                catch_unwind(AssertUnwindSafe(|| body(v.clone()))).is_err()
+            });
+            set_hook(hook);
+            result
+        };
+        eprintln!(
+            "proptest: {name} case {case} (base seed {base:#x}) failed; \
+             minimal failing input after {steps} shrink step(s): {minimal:?}"
+        );
+        body(minimal.clone());
+        // A nondeterministic property can fail once and then pass on
+        // every re-run (wall-clock timing, thread interleaving). Fail
+        // loudly with the input instead of pretending success.
+        panic!(
+            "proptest: {name} case {case} failed originally but its minimal input \
+             {minimal:?} passed when re-run — the property is nondeterministic"
+        );
+    }
 }
 
 /// Asserts a condition inside a property; panics with case context.
@@ -101,16 +164,54 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let config = $cfg;
                 let base = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
-                for case in 0..config.cases as u64 {
-                    let mut rng = <$crate::__rt::ChaCha8Rng as $crate::__rt::SeedableRng>::
-                        seed_from_u64(base ^ case);
-                    let mut one_case = |rng: &mut $crate::__rt::ChaCha8Rng| {
-                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                // All bound strategies as one tuple strategy, so the
+                // shrinker can simplify any variable of a failing case.
+                let strategy = ($(($strat),)+);
+                $crate::run_property(
+                    stringify!($name),
+                    config.cases,
+                    base,
+                    &strategy,
+                    |values| {
+                        let ($($pat,)+) = values;
                         $body
-                    };
-                    one_case(&mut rng);
-                }
+                    },
+                );
             }
         )*
     };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passing_property_runs_all_cases_silently() {
+        let mut ran = 0u32;
+        let counter = std::cell::RefCell::new(&mut ran);
+        crate::run_property("ok", 16, crate::seed_for("ok"), &(0u64..100,), |(v,)| {
+            **counter.borrow_mut() += 1;
+            assert!(v < 100);
+        });
+        assert_eq!(ran, 16);
+    }
+
+    #[test]
+    fn failing_property_re_raises_on_the_minimal_input() {
+        // The property fails for v >= 17; whatever the RNG first draws,
+        // the shrinker must walk it down and re-raise at exactly 17.
+        let result = std::panic::catch_unwind(|| {
+            crate::run_property("demo", 8, crate::seed_for("demo"), &(0u64..1000,), |(v,)| {
+                assert!(v < 17, "boom {v}");
+            });
+        });
+        let payload = result.expect_err("property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("boom 17"),
+            "expected minimal panic, got: {msg}"
+        );
+    }
 }

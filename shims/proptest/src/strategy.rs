@@ -1,27 +1,75 @@
-//! Value-generation strategies.
+//! Value-generation strategies, with minimal value-tree shrinking.
 
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
 /// A recipe for generating random values of one type.
 ///
-/// Unlike upstream proptest there is no value tree and no shrinking —
-/// `generate` produces a value directly from the runner's RNG.
+/// Unlike upstream proptest there is no persistent value tree —
+/// `generate` produces a value directly from the runner's RNG, and
+/// [`Strategy::shrink`] proposes simpler *candidate* values on demand.
+/// The `proptest!` macro drives [`minimize`] over those candidates when a
+/// case fails, so integer-driven failures are reported at (close to)
+/// their minimal reproduction instead of whatever the RNG drew first.
+///
+/// Values must be `Clone` (the failing case is re-run per candidate) and
+/// `Debug` (the minimal input is printed) — every strategy in this
+/// workspace already satisfies both.
 pub trait Strategy {
     /// The generated type.
-    type Value;
+    type Value: Clone + std::fmt::Debug;
 
     /// Draws one value.
     fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    /// Simpler candidate replacements for `value`, most aggressive
+    /// first. Candidates must stay inside the strategy's domain. The
+    /// default is no shrinking (strategies whose simplification order is
+    /// unclear — `prop_map`, `Just` — keep the original value).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
         F: Fn(Self::Value) -> O,
+        O: Clone + std::fmt::Debug,
     {
         Map { inner: self, f }
     }
+}
+
+/// Greedily walks [`Strategy::shrink`] candidates while `still_fails`
+/// keeps failing, returning the simplest failing value found and the
+/// number of accepted shrink steps. Doubly bounded — by step count and
+/// by wall-clock time — so neither a pathological shrink cycle nor an
+/// expensive property body (each probe re-runs the whole case) can turn
+/// one failing test into an open-ended search.
+pub fn minimize<S: Strategy>(
+    strategy: &S,
+    mut current: S::Value,
+    mut still_fails: impl FnMut(&S::Value) -> bool,
+) -> (S::Value, usize) {
+    const MAX_STEPS: usize = 512;
+    const MAX_SEARCH: std::time::Duration = std::time::Duration::from_secs(30);
+    let started = std::time::Instant::now();
+    let mut steps = 0;
+    'search: while steps < MAX_STEPS && started.elapsed() < MAX_SEARCH {
+        for candidate in strategy.shrink(&current) {
+            if started.elapsed() >= MAX_SEARCH {
+                break 'search;
+            }
+            if still_fails(&candidate) {
+                current = candidate;
+                steps += 1;
+                continue 'search;
+            }
+        }
+        break;
+    }
+    (current, steps)
 }
 
 /// Strategy produced by [`Strategy::prop_map`].
@@ -35,6 +83,7 @@ impl<S, O, F> Strategy for Map<S, F>
 where
     S: Strategy,
     F: Fn(S::Value) -> O,
+    O: Clone + std::fmt::Debug,
 {
     type Value = O;
 
@@ -47,7 +96,7 @@ where
 #[derive(Debug, Clone)]
 pub struct Just<T>(pub T);
 
-impl<T: Clone> Strategy for Just<T> {
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
     type Value = T;
 
     fn generate(&self, _rng: &mut ChaCha8Rng) -> T {
@@ -55,7 +104,65 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-macro_rules! range_strategy {
+// Integer ranges shrink toward their lower bound: the bound itself (the
+// most aggressive jump), the midpoint, and one step down. Assumes the
+// span fits the type, which holds for every range strategy in this
+// workspace.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_towards(self.start, *value)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_towards(*self.start(), *value)
+            }
+        }
+
+        impl ShrinkTowards for $t {
+            fn shrink_towards(lo: $t, value: $t) -> Vec<$t> {
+                if value <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo];
+                let mid = lo + (value - lo) / 2;
+                if mid != lo && mid != value {
+                    out.push(mid);
+                }
+                if value - 1 != mid && value - 1 != lo {
+                    out.push(value - 1);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+/// Per-type "shrink toward a lower bound" rule backing the integer range
+/// strategies.
+trait ShrinkTowards: Sized {
+    fn shrink_towards(lo: Self, value: Self) -> Vec<Self>;
+}
+
+fn shrink_towards<T: ShrinkTowards>(lo: T, value: T) -> Vec<T> {
+    T::shrink_towards(lo, value)
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+// Float ranges generate but do not shrink (no obviously-canonical
+// simplification order for continuous draws).
+macro_rules! float_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
             type Value = $t;
@@ -72,7 +179,7 @@ macro_rules! range_strategy {
     )*};
 }
 
-range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+float_range_strategy!(f32, f64);
 
 macro_rules! tuple_strategy {
     ($(($($s:ident / $idx:tt),+))*) => {$(
@@ -80,6 +187,18 @@ macro_rules! tuple_strategy {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component shrunk at a time, the others held fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -92,4 +211,53 @@ tuple_strategy! {
     (A/0, B/1, C/2, D/3)
     (A/0, B/1, C/2, D/3, E/4)
     (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn integer_shrink_stays_in_domain_and_decreases() {
+        let strat = 3u64..100;
+        for v in [4u64, 50, 99] {
+            for c in strat.shrink(&v) {
+                assert!(c >= 3 && c < v, "candidate {c} out of order for {v}");
+            }
+        }
+        assert!(strat.shrink(&3).is_empty(), "lower bound has no shrinks");
+    }
+
+    #[test]
+    fn minimize_finds_the_boundary() {
+        // Property "fails for v >= 17" over 0..1000 must minimise to 17.
+        let strat = 0usize..1000;
+        let (min, steps) = minimize(&strat, 930, |&v| v >= 17);
+        assert_eq!(min, 17);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn tuple_minimize_shrinks_each_component() {
+        let strat = (0i64..100, 1usize..=64);
+        // Fails whenever a >= 10 and b >= 5: minimal failing is (10, 5).
+        let (min, _) = minimize(&strat, (73, 40), |&(a, b)| a >= 10 && b >= 5);
+        assert_eq!(min, (10, 5));
+    }
+
+    #[test]
+    fn minimize_keeps_unshrinkable_failures() {
+        let strat = 0u32..10;
+        let (min, steps) = minimize(&strat, 7, |&v| v == 7);
+        assert_eq!((min, steps), (7, 0));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let strat = (0u64..1000, -50i64..50);
+        let mut a = ChaCha8Rng::seed_from_u64(11);
+        let mut b = ChaCha8Rng::seed_from_u64(11);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
 }
