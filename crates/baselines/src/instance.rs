@@ -6,11 +6,23 @@
 //! identical inputs without protocol noise (experiments F1, F2, F4, T3).
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use qosc_core::{CompiledRequest, EvalConfig, LinearPenalty, RewardModel, TaskInput};
+use qosc_core::{CompiledRequest, EvalConfig, LinearPenalty, PreparedTask, RewardModel};
 use qosc_resources::{AdmissionControl, DemandModel, ResourceVector, SchedulingPolicy};
 use qosc_spec::{QosSpec, ResolvedRequest, TaskId};
+
+/// The shared default reward model (`reward: None` nodes). One static
+/// `Arc` so every such node keys the same per-task compile cache entry.
+fn default_reward() -> &'static Arc<dyn RewardModel> {
+    static DEFAULT: OnceLock<Arc<dyn RewardModel>> = OnceLock::new();
+    DEFAULT.get_or_init(|| Arc::new(LinearPenalty::default()))
+}
+
+/// Identity of an `Arc<dyn _>` by data pointer (vtable-address-agnostic).
+fn data_ptr<T: ?Sized>(a: &Arc<T>) -> *const u8 {
+    Arc::as_ptr(a) as *const u8
+}
 
 /// Node id type shared with `qosc-core`.
 pub type Pid = qosc_core::Pid;
@@ -55,6 +67,18 @@ pub struct OfflineTask {
     /// they were compiled under (one compile per task per config, shared
     /// by every policy and round that prices this task).
     compiled: Mutex<Option<(EvalConfig, Arc<CompiledRequest>)>>,
+    /// Lazily-compiled formulation tables ([`PreparedTask`]), keyed by
+    /// `(reward model, demand model)` identity — multi-round policies
+    /// (the F-series protocol emulation) re-formulate this task on every
+    /// node every round, and recompiling penalty grids per round was a
+    /// dominant cost.
+    prepared: Mutex<Vec<PreparedEntry>>,
+}
+
+/// One cached formulation compile of a task (see [`OfflineTask::prepared`]).
+struct PreparedEntry {
+    reward: Arc<dyn RewardModel>,
+    prepared: Arc<PreparedTask>,
 }
 
 impl OfflineTask {
@@ -73,7 +97,37 @@ impl OfflineTask {
             input_bytes,
             output_bytes,
             compiled: Mutex::new(None),
+            prepared: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The task compiled for repeated formulation under `(reward, model)`.
+    /// Compiles on first use per distinct pair (matched by `Arc` data
+    /// pointer; the stored clones keep the pointers stable) and serves the
+    /// cached tables from then on.
+    pub fn prepared(
+        &self,
+        reward: &Arc<dyn RewardModel>,
+        model: &Arc<dyn DemandModel>,
+    ) -> Arc<PreparedTask> {
+        let mut guard = self.prepared.lock().expect("prepare cache poisoned");
+        if let Some(e) = guard.iter().find(|e| {
+            std::ptr::eq(data_ptr(&e.reward), data_ptr(reward))
+                && std::ptr::eq(data_ptr(e.prepared.demand_model()), data_ptr(model))
+        }) {
+            return Arc::clone(&e.prepared);
+        }
+        let prepared = Arc::new(PreparedTask::compile(
+            self.spec.clone(),
+            Arc::new(self.request.clone()),
+            reward.as_ref(),
+            Arc::clone(model),
+        ));
+        guard.push(PreparedEntry {
+            reward: Arc::clone(reward),
+            prepared: Arc::clone(&prepared),
+        });
+        prepared
     }
 
     /// The task's compiled evaluation tables under `eval`. Compiles on
@@ -194,31 +248,98 @@ pub fn formulate_on_node_with_capacity(
     if task_ids.is_empty() {
         return Some(Vec::new());
     }
-    // One id→task index pass instead of a linear scan per id: joint
-    // formulation over large open sets (256-node sweeps announce every
-    // task to every node, every round) would otherwise go quadratic.
-    let by_id: HashMap<TaskId, &OfflineTask> = instance.tasks.iter().map(|t| (t.id, t)).collect();
+    let tasks = lookup_tasks(instance, task_ids)?;
+    let prepared = prepare_tasks(node, &tasks)?;
+    if prepared.len() < tasks.len() {
+        return None; // some task's demand model is unknown on this node
+    }
+    let refs: Vec<&PreparedTask> = prepared.iter().map(|p| p.as_ref()).collect();
+    let admission = AdmissionControl::new(node.policy, *capacity);
+    let out = qosc_core::formulate_prepared(&refs, &admission).ok()?;
+    Some(price_outcome(instance, node, &tasks, &out))
+}
+
+/// Joint formulation with prefix-feasibility shedding: formulates the
+/// largest feasible prefix of `task_ids` on `node` (unknown task ids and
+/// tasks whose demand model the node lacks truncate the prefix, exactly
+/// like the old shed-one-retry loop did). Returns the priced placements
+/// of that prefix — empty when not even one task fits. This is the
+/// offline mirror of the joint provider's CFP path (F-series emulation).
+pub fn formulate_subset_on_node(
+    instance: &Instance,
+    node: &OfflineNode,
+    capacity: &ResourceVector,
+    task_ids: &[TaskId],
+) -> Vec<(TaskId, Placement)> {
+    if task_ids.is_empty() {
+        return Vec::new();
+    }
+    // Truncate (not bail) at the first unknown id: the old loop shed its
+    // way down to the prefix before it.
+    let by_id = task_index(instance);
     let tasks: Vec<&OfflineTask> = task_ids
         .iter()
-        .map(|id| by_id.get(id).copied())
-        .collect::<Option<Vec<_>>>()?;
-    let models: Vec<&Arc<dyn DemandModel>> = tasks
-        .iter()
-        .map(|t| node.model_for(&t.spec))
-        .collect::<Option<Vec<_>>>()?;
-    let inputs: Vec<TaskInput<'_>> = tasks
-        .iter()
-        .zip(models.iter())
-        .map(|(t, m)| TaskInput {
-            spec: &t.spec,
-            request: &t.request,
-            demand: m.as_ref(),
-        })
+        .map_while(|id| by_id.get(id).copied())
         .collect();
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    let Some(prepared) = prepare_tasks(node, &tasks) else {
+        return Vec::new();
+    };
+    let refs: Vec<&PreparedTask> = prepared.iter().map(|p| p.as_ref()).collect();
     let admission = AdmissionControl::new(node.policy, *capacity);
-    let default_reward = LinearPenalty::default();
-    let reward: &dyn RewardModel = node.reward.as_deref().unwrap_or(&default_reward);
-    let out = qosc_core::formulate(&inputs, &admission, reward).ok()?;
+    let Some((count, out)) = qosc_core::formulate_shedding(&refs, &admission) else {
+        return Vec::new();
+    };
+    price_outcome(instance, node, &tasks[..count], &out)
+}
+
+/// One id→task index pass instead of a linear scan per id: joint
+/// formulation over large open sets (256-node sweeps announce every
+/// task to every node, every round) would otherwise go quadratic.
+fn task_index(instance: &Instance) -> HashMap<TaskId, &OfflineTask> {
+    instance.tasks.iter().map(|t| (t.id, t)).collect()
+}
+
+/// All of `task_ids` resolved against the instance, or `None` if any is
+/// unknown.
+fn lookup_tasks<'a>(instance: &'a Instance, task_ids: &[TaskId]) -> Option<Vec<&'a OfflineTask>> {
+    let by_id = task_index(instance);
+    task_ids
+        .iter()
+        .map(|id| by_id.get(id).copied())
+        .collect::<Option<Vec<_>>>()
+}
+
+/// Compiles (or serves from each task's cache) the prefix of `tasks` the
+/// node can price: stops at the first task whose spec has no demand model
+/// here. `None` when the very first task is already unknown.
+fn prepare_tasks(node: &OfflineNode, tasks: &[&OfflineTask]) -> Option<Vec<Arc<PreparedTask>>> {
+    let reward = match node.reward.as_ref() {
+        Some(r) => r,
+        None => default_reward(),
+    };
+    let mut out = Vec::with_capacity(tasks.len());
+    for t in tasks {
+        let Some(model) = node.model_for(&t.spec) else {
+            break;
+        };
+        out.push(t.prepared(reward, model));
+    }
+    if out.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+/// Prices a formulation outcome into per-task placements.
+fn price_outcome(
+    instance: &Instance,
+    node: &OfflineNode,
+    tasks: &[&OfflineTask],
+    out: &qosc_core::Formulated,
+) -> Vec<(TaskId, Placement)> {
     let mut placements = Vec::with_capacity(tasks.len());
     for (i, t) in tasks.iter().enumerate() {
         let distance = t
@@ -243,7 +364,7 @@ pub fn formulate_on_node_with_capacity(
             },
         ));
     }
-    Some(placements)
+    placements
 }
 
 #[cfg(test)]

@@ -180,7 +180,7 @@ pub fn protocol_emulation_with(
     tiebreak: &TieBreak,
     strategy: ProposalStrategy,
 ) -> Allocation {
-    use crate::instance::formulate_on_node_with_capacity;
+    use crate::instance::{formulate_on_node_with_capacity, formulate_subset_on_node};
     let mut remaining: Vec<TaskId> = instance.tasks.iter().map(|t| t.id).collect();
     let mut capacities: BTreeMap<Pid, ResourceVector> =
         instance.nodes.iter().map(|n| (n.id, n.capacity)).collect();
@@ -195,23 +195,10 @@ pub fn protocol_emulation_with(
             let cap = capacities[&node.id];
             let placements = match strategy {
                 // Mirror the joint provider: one formulation over the open
-                // set, shedding from the tail when it cannot fit.
+                // set, the engine's prefix-feasibility pre-check shedding
+                // from the tail when it cannot fit.
                 ProposalStrategy::Joint => {
-                    let mut count = remaining.len();
-                    loop {
-                        if count == 0 {
-                            break Vec::new();
-                        }
-                        if let Some(p) = formulate_on_node_with_capacity(
-                            instance,
-                            node,
-                            &cap,
-                            &remaining[..count],
-                        ) {
-                            break p;
-                        }
-                        count -= 1;
-                    }
+                    formulate_subset_on_node(instance, node, &cap, &remaining)
                 }
                 // Sequential provider: each task priced alone against what
                 // is left after the offers already in this bundle (the

@@ -1,11 +1,29 @@
 //! B2 — the §5 degradation heuristic at increasing scarcity and task
 //! counts (cost grows with the number of degradation steps).
+//!
+//! Two legs per joint-bundle point: `engine` is the heap-driven
+//! [`Formulator`] with a warm compile cache (what a provider actually
+//! runs per CFP round), `reference` is the retained pre-engine path
+//! ([`formulate_reference`]: penalty tables rebuilt per call, per-step
+//! argmin scan, quality vector rebuilt per step). Their ratio is the
+//! engine speedup tracked by CI's BENCH_JSON artifact.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use qosc_core::{formulate, LinearPenalty, TaskInput};
-use qosc_resources::{av_demand_model, AdmissionControl, ResourceVector, SchedulingPolicy};
+use std::sync::Arc;
+
+use qosc_core::{formulate, formulate_reference, Formulator, LinearPenalty, TaskInput};
+use qosc_resources::{
+    av_demand_model, AdmissionControl, DemandModel, ResourceKind, ResourceVector, SchedulingPolicy,
+};
 use qosc_spec::catalog;
+
+fn admission(cpu: f64) -> AdmissionControl {
+    AdmissionControl::new(
+        SchedulingPolicy::Edf,
+        ResourceVector::new(cpu, 1_000_000.0, 10_000_000.0, 60_000.0, 10_000_000.0),
+    )
+}
 
 fn bench_formulation(c: &mut Criterion) {
     let spec = catalog::av_spec();
@@ -16,10 +34,7 @@ fn bench_formulation(c: &mut Criterion) {
     let mut g = c.benchmark_group("formulation");
     // Scarcity sweep: fewer MIPS = more degradation steps.
     for cpu in [500.0, 60.0, 30.0] {
-        let admission = AdmissionControl::new(
-            SchedulingPolicy::Edf,
-            ResourceVector::new(cpu, 512.0, 10_000.0, 60.0, 10_000.0),
-        );
+        let admission = admission(cpu);
         g.bench_with_input(
             BenchmarkId::new("single_task_cpu", cpu as u64),
             &cpu,
@@ -40,10 +55,7 @@ fn bench_formulation(c: &mut Criterion) {
     }
     // Joint task-set sweep at fixed capacity.
     for tasks in [1usize, 4, 16] {
-        let admission = AdmissionControl::new(
-            SchedulingPolicy::Edf,
-            ResourceVector::new(120.0, 4096.0, 100_000.0, 600.0, 100_000.0),
-        );
+        let admission = admission(120.0);
         let inputs: Vec<TaskInput<'_>> = (0..tasks)
             .map(|_| TaskInput {
                 spec: &spec,
@@ -54,6 +66,64 @@ fn bench_formulation(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("joint_tasks", tasks), &tasks, |b, _| {
             b.iter(|| formulate(black_box(&inputs), &admission, &reward))
         });
+    }
+
+    // Joint bundles, engine vs reference. Capacities derived from the
+    // request's actual demand profile: `rich` fits every task at
+    // preferred quality (zero degradation steps — measures setup cost),
+    // `scarce` sits 2% above the fully-degraded bundle demand (near-
+    // maximal degradation steps — measures the per-step loop).
+    let preferred_cpu = {
+        let qv = request
+            .quality_vector(&spec, &vec![0; request.attr_count()])
+            .unwrap();
+        model.demand(&spec, &qv).get(ResourceKind::Cpu)
+    };
+    let degraded_cpu = {
+        let full: Vec<usize> = request.ladder_lengths().iter().map(|l| l - 1).collect();
+        let qv = request.quality_vector(&spec, &full).unwrap();
+        model.demand(&spec, &qv).get(ResourceKind::Cpu)
+    };
+    let shared_model: Arc<dyn DemandModel> = Arc::new(av_demand_model(&spec));
+    let announced = catalog::video_conference_request();
+    for tasks in [8usize, 32, 64] {
+        for (label, per_task) in [
+            ("rich", preferred_cpu * 1.05),
+            ("scarce", degraded_cpu * 1.02),
+        ] {
+            let admission = admission(per_task * tasks as f64);
+            let inputs: Vec<TaskInput<'_>> = (0..tasks)
+                .map(|_| TaskInput {
+                    spec: &spec,
+                    request: &request,
+                    demand: &model,
+                })
+                .collect();
+            // Sanity: both capacity points formulate successfully (the
+            // scarce one after deep degradation).
+            formulate_reference(&inputs, &admission, &reward).expect("bundle must fit");
+            g.bench_with_input(
+                BenchmarkId::new(format!("joint_{label}_reference"), tasks),
+                &tasks,
+                |b, _| b.iter(|| formulate_reference(black_box(&inputs), &admission, &reward)),
+            );
+            // The engine as providers run it: compile cache warmed by the
+            // first CFP round, then one heap-driven pass per round.
+            let mut engine = Formulator::new(Arc::new(LinearPenalty::default()));
+            let prepared: Vec<_> = (0..tasks)
+                .map(|_| {
+                    engine
+                        .prepare(&spec, &announced, &shared_model)
+                        .expect("catalog request resolves")
+                })
+                .collect();
+            let refs: Vec<&qosc_core::PreparedTask> = prepared.iter().map(|p| p.as_ref()).collect();
+            g.bench_with_input(
+                BenchmarkId::new(format!("joint_{label}_engine"), tasks),
+                &tasks,
+                |b, _| b.iter(|| engine.formulate(black_box(&refs), &admission)),
+            );
+        }
     }
     g.finish();
 }

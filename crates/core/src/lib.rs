@@ -9,8 +9,12 @@
 //!   request (flat `w_k·w_i` weight products, domain normalizers,
 //!   Quality-Index position tables) with batched scoring
 //!   ([`CompiledRequest::evaluate_batch`]) for the hot paths.
-//! * [`formulate`] — the local proposal-formulation heuristic of §5 with
-//!   the eq. 1 reward ([`LinearPenalty`], [`QuadraticPenalty`]).
+//! * [`formulate`] / [`Formulator`] — the local proposal-formulation
+//!   heuristic of §5 with the eq. 1 reward ([`LinearPenalty`],
+//!   [`QuadraticPenalty`]), built as a reusable engine: heap-driven
+//!   O(log A) degradation steps, prefix-feasibility shedding for
+//!   overloaded bundles, and a per-provider compile cache
+//!   ([`PreparedTask`]) keyed by spec + request.
 //! * [`OrganizerEngine`] / [`ProviderEngine`] — the §4.2 negotiation
 //!   protocol as sans-IO state machines covering the full coalition life
 //!   cycle (Formation / Operation with heartbeat monitoring and
@@ -92,8 +96,9 @@ pub use compiled::CompiledRequest;
 pub use evaluation::{DifMode, EvalConfig, Evaluator, Inadmissible, WeightScheme};
 pub use formation::{select_winners, Candidate, Criterion, Selection, TieBreak};
 pub use formulation::{
-    formulate, local_reward, Formulated, FormulationError, LinearPenalty, QuadraticPenalty,
-    RewardModel, TaskInput,
+    formulate, formulate_prepared, formulate_reference, formulate_shedding, local_reward,
+    Formulated, FormulationError, Formulator, LinearPenalty, PenaltyTable, PreparedTask,
+    QuadraticPenalty, RewardModel, TaskInput,
 };
 pub use metrics::{NegoEvent, NegotiationMetrics, TaskOutcome};
 pub use organizer::{OrganizerConfig, OrganizerEngine};

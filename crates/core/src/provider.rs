@@ -21,7 +21,7 @@ use qosc_resources::{
 };
 use qosc_spec::TaskId;
 
-use crate::formulation::{formulate, FormulationError, LinearPenalty, RewardModel, TaskInput};
+use crate::formulation::{Formulator, LinearPenalty, PreparedTask, RewardModel};
 use crate::protocol::{
     encode_timer, Action, Msg, NegoId, Pid, TaskAnnouncement, TaskProposal, TimerKind,
 };
@@ -89,6 +89,9 @@ pub struct ProviderEngine {
     config: ProviderConfig,
     ledger: NodeLedger,
     demand_models: HashMap<String, Arc<dyn DemandModel>>,
+    /// The reusable §5 engine: compile cache + scratch, shared by every
+    /// CFP this provider prices.
+    formulator: Formulator,
     /// Tentative holds per (negotiation, task).
     holds: HashMap<(NegoId, TaskId), VectorHold>,
     /// Committed grants per (negotiation, task).
@@ -102,11 +105,13 @@ pub struct ProviderEngine {
 impl ProviderEngine {
     /// Creates a provider for node `id` with the given capacity.
     pub fn new(id: Pid, capacity: ResourceVector, config: ProviderConfig) -> Self {
+        let formulator = Formulator::new(Arc::clone(&config.reward));
         Self {
             id,
             config,
             ledger: NodeLedger::new(capacity),
             demand_models: HashMap::new(),
+            formulator,
             holds: HashMap::new(),
             committed: HashMap::new(),
             active: HashMap::new(),
@@ -122,12 +127,18 @@ impl ProviderEngine {
     /// Registers the a-priori demand analysis for an application class
     /// (keyed by the spec name). CFP tasks with unknown specs are skipped —
     /// the node genuinely cannot estimate their resource needs.
+    ///
+    /// Re-registering a spec's model invalidates that spec's entries in
+    /// the formulation compile cache: their fully-degraded demands were
+    /// computed under the old model.
     pub fn register_demand_model(
         &mut self,
         spec_name: impl Into<String>,
         model: Arc<dyn DemandModel>,
     ) {
-        self.demand_models.insert(spec_name.into(), model);
+        let name = spec_name.into();
+        self.formulator.invalidate_spec(&name);
+        self.demand_models.insert(name, model);
     }
 
     /// Read access to the reservation ledger (tests, metrics).
@@ -194,26 +205,22 @@ impl ProviderEngine {
                 self.ledger.release(h);
             }
         }
-        // Resolve every announced request and find its demand model;
-        // unknown specs or invalid requests exclude the task.
+        // Resolve + compile every announced request through the engine's
+        // cache (repeated rounds and repeated specs hit it); unknown specs
+        // or invalid requests exclude the task.
         struct Prepared<'a> {
             ann: &'a TaskAnnouncement,
-            request: qosc_spec::ResolvedRequest,
-            model: Arc<dyn DemandModel>,
+            task: Arc<PreparedTask>,
         }
         let mut prepared: Vec<Prepared<'_>> = Vec::new();
         for ann in tasks {
-            let Ok(request) = ann.request.resolve(&ann.spec) else {
-                continue;
-            };
             let Some(model) = self.demand_models.get(ann.spec.name()).cloned() else {
                 continue;
             };
-            prepared.push(Prepared {
-                ann,
-                request,
-                model,
-            });
+            let Some(task) = self.formulator.prepare(&ann.spec, &ann.request, &model) else {
+                continue;
+            };
+            prepared.push(Prepared { ann, task });
         }
         if prepared.is_empty() {
             return Vec::new();
@@ -228,24 +235,14 @@ impl ProviderEngine {
                 // grants). If even fully degraded the whole set does not
                 // fit, shed tasks from the tail until a feasible subset
                 // remains — proposing for a subset is better than silence.
+                // The engine finds that subset from the prefix-summed
+                // fully-degraded demands, so shedding costs one admission
+                // test per dropped task instead of a full degradation.
                 let admission = AdmissionControl::new(self.config.policy, self.ledger.available());
-                let mut count = prepared.len();
-                let outcome = loop {
-                    if count == 0 {
-                        return Vec::new();
-                    }
-                    let inputs: Vec<TaskInput<'_>> = prepared[..count]
-                        .iter()
-                        .map(|p| TaskInput {
-                            spec: &p.ann.spec,
-                            request: &p.request,
-                            demand: p.model.as_ref(),
-                        })
-                        .collect();
-                    match formulate(&inputs, &admission, self.config.reward.as_ref()) {
-                        Ok(f) => break f,
-                        Err(FormulationError::Infeasible) => count -= 1,
-                    }
+                let refs: Vec<&PreparedTask> = prepared.iter().map(|p| p.task.as_ref()).collect();
+                let Some((_, outcome)) = self.formulator.formulate_shedding(&refs, &admission)
+                else {
+                    return Vec::new();
                 };
                 for (i, (levels, demand)) in
                     outcome.levels.into_iter().zip(outcome.demands).enumerate()
@@ -260,12 +257,7 @@ impl ProviderEngine {
                 let mut left = self.ledger.available();
                 for (i, p) in prepared.iter().enumerate() {
                     let admission = AdmissionControl::new(self.config.policy, left);
-                    let input = TaskInput {
-                        spec: &p.ann.spec,
-                        request: &p.request,
-                        demand: p.model.as_ref(),
-                    };
-                    if let Ok(out) = formulate(&[input], &admission, self.config.reward.as_ref()) {
+                    if let Ok(out) = self.formulator.formulate(&[p.task.as_ref()], &admission) {
                         left -= out.demands[0];
                         priced.push((i, out.levels[0].clone(), out.demands[0], out.reward));
                     }
@@ -300,7 +292,8 @@ impl ProviderEngine {
         for (i, levels, demand, reward) in priced {
             let p = &prepared[i];
             let offered: Vec<qosc_spec::Value> = p
-                .request
+                .task
+                .request()
                 .iter_attrs()
                 .zip(levels.iter())
                 .map(|((_, a), &l)| a.levels[l].clone())

@@ -1,0 +1,250 @@
+//! Property-based equivalence of the heap-driven formulation engine and
+//! the retained reference scan ([`qosc_core::formulate_reference`]):
+//! across random specs, ladders, dependencies, demand models and
+//! capacities the two must produce identical levels, demands, rewards
+//! and degradation counts — and prefix-feasibility shedding must match
+//! the old shed-one-task-and-reformulate loop on random bundles.
+
+use proptest::prelude::*;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use std::sync::Arc;
+
+use qosc_core::{
+    formulate, formulate_prepared, formulate_reference, formulate_shedding, FormulationError,
+    LinearPenalty, PreparedTask, TaskInput,
+};
+use qosc_resources::{
+    AdmissionControl, DemandModel, DemandTerm, Feature, LinearDemandModel, ResourceKind,
+    ResourceVector, SchedulingPolicy,
+};
+use qosc_spec::{
+    Attribute, Dependency, DependencyKind, Dimension, Domain, LevelSpec, QosSpec, ResolvedRequest,
+    ServiceRequest, Value,
+};
+
+const VAL_MAX: i64 = 40;
+
+/// One random world: a spec (with occasional dependencies), a demand
+/// model over it and a bundle of resolved requests.
+struct World {
+    spec: QosSpec,
+    model: Arc<dyn DemandModel>,
+    requests: Vec<ResolvedRequest>,
+}
+
+/// Builds a random spec over integer domains, a non-negative linear
+/// demand model, and `tasks` random requests. With `monotone` the
+/// ladders are sorted best-value-first, which (with non-negative
+/// coefficients) makes demand non-increasing along degradation — the
+/// documented contract the §5 heuristic and the shedding pre-check rely
+/// on. Without it, ladders are shuffled freely (fine for pinning the
+/// heap against the scan, which must agree on *any* input).
+fn random_world(seed: u64, tasks: usize, monotone: bool) -> World {
+    let rng = &mut ChaCha8Rng::seed_from_u64(seed);
+    let dims = rng.gen_range(1usize..=2);
+    let mut builder = QosSpec::builder(format!("spec-{seed}"));
+    let mut names: Vec<(String, Vec<String>)> = Vec::new();
+    for d in 0..dims {
+        let attrs = rng.gen_range(1usize..=3);
+        let attr_names: Vec<String> = (0..attrs).map(|a| format!("a{d}_{a}")).collect();
+        builder = builder.dimension(Dimension::new(
+            format!("d{d}"),
+            attr_names
+                .iter()
+                .map(|n| {
+                    Attribute::new(
+                        n.clone(),
+                        Domain::ContinuousInt {
+                            min: 0,
+                            max: VAL_MAX,
+                        },
+                    )
+                })
+                .collect(),
+        ));
+        names.push((format!("d{d}"), attr_names));
+    }
+    // Occasionally couple two attributes so the dependency paths (both
+    // the mid-trajectory checks and the deps-fail-at-full-degradation
+    // shedding fallback) are exercised.
+    let all_paths: Vec<(usize, usize)> = names
+        .iter()
+        .enumerate()
+        .flat_map(|(d, (_, attrs))| (0..attrs.len()).map(move |a| (d, a)))
+        .collect();
+    if all_paths.len() >= 2 && rng.gen_bool(0.5) {
+        let mut pick = all_paths.clone();
+        pick.shuffle(rng);
+        let a = qosc_spec::AttrPath::new(pick[0].0, pick[0].1);
+        let b = qosc_spec::AttrPath::new(pick[1].0, pick[1].1);
+        let kind = if rng.gen_bool(0.5) {
+            DependencyKind::LinearBudget {
+                terms: vec![(a, 1.0), (b, 1.0)],
+                max: rng.gen_range(0..=2 * VAL_MAX) as f64,
+            }
+        } else {
+            let set = |rng: &mut ChaCha8Rng| -> Vec<Value> {
+                let lo = rng.gen_range(0..=VAL_MAX);
+                let hi = rng.gen_range(lo..=VAL_MAX);
+                (lo..=hi).map(Value::Int).collect()
+            };
+            DependencyKind::Implication {
+                a,
+                when_in: set(rng),
+                b,
+                require_in: set(rng),
+            }
+        };
+        builder = builder.dependency(Dependency::new("dep", kind));
+    }
+    let spec = builder.build().expect("random spec is structurally valid");
+
+    // Demand: non-negative base + one non-negative numeric term per
+    // attribute (some zero-coefficient so unconstrained attrs occur).
+    let terms: Vec<DemandTerm> = spec
+        .paths()
+        .map(|path| DemandTerm {
+            path,
+            feature: Feature::Numeric,
+            kind: if rng.gen_bool(0.8) {
+                ResourceKind::Cpu
+            } else {
+                ResourceKind::Memory
+            },
+            coeff: rng.gen_range(0..=20) as f64 / 10.0,
+        })
+        .collect();
+    let base = ResourceVector::new(rng.gen_range(0..=20) as f64 / 10.0, 1.0, 1.0, 0.1, 1.0);
+    let model: Arc<dyn DemandModel> = Arc::new(LinearDemandModel::new(base, terms));
+
+    let requests = (0..tasks)
+        .map(|t| {
+            let mut dims = names.clone();
+            dims.shuffle(rng);
+            let keep = rng.gen_range(1usize..=dims.len());
+            let mut req = ServiceRequest::builder(format!("req-{seed}-{t}"));
+            for (dname, mut attrs) in dims.into_iter().take(keep) {
+                attrs.shuffle(rng);
+                let keep_attrs = rng.gen_range(1usize..=attrs.len());
+                req = req.dimension(dname);
+                for aname in attrs.into_iter().take(keep_attrs) {
+                    let mut ladder: Vec<i64> = (0..rng.gen_range(1usize..=6))
+                        .map(|_| rng.gen_range(0..=VAL_MAX))
+                        .collect();
+                    ladder.dedup();
+                    if monotone {
+                        ladder.sort_unstable_by(|x, y| y.cmp(x));
+                        ladder.dedup();
+                    }
+                    req = req.attribute(
+                        aname,
+                        ladder
+                            .into_iter()
+                            .map(|v| LevelSpec::value(Value::Int(v)))
+                            .collect(),
+                    );
+                }
+            }
+            req.build()
+                .resolve(&spec)
+                .expect("ladder values are drawn from the domains")
+        })
+        .collect();
+    World {
+        spec,
+        model,
+        requests,
+    }
+}
+
+fn admission(cpu: f64) -> AdmissionControl {
+    AdmissionControl::new(
+        SchedulingPolicy::Edf,
+        ResourceVector::new(cpu, 10_000.0, 10_000.0, 600.0, 10_000.0),
+    )
+}
+
+fn inputs_of(world: &World) -> Vec<TaskInput<'_>> {
+    world
+        .requests
+        .iter()
+        .map(|request| TaskInput {
+            spec: &world.spec,
+            request,
+            demand: world.model.as_ref(),
+        })
+        .collect()
+}
+
+fn prepared_of(world: &World) -> Vec<PreparedTask> {
+    world
+        .requests
+        .iter()
+        .map(|request| {
+            PreparedTask::compile(
+                world.spec.clone(),
+                Arc::new(request.clone()),
+                &LinearPenalty::default(),
+                Arc::clone(&world.model),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    // Default config: 64 cases locally, PROPTEST_CASES=256 in CI.
+    #![proptest_config(ProptestConfig::default())]
+
+    /// The heap-driven engine reproduces the reference scan bit-for-bit:
+    /// identical levels, demands, reward and degradation count (or the
+    /// identical `Infeasible`), on arbitrary (even non-monotone) inputs —
+    /// through both the `TaskInput` and the `PreparedTask` entry points.
+    #[test]
+    fn heap_engine_matches_reference_scan(
+        seed in 0u64..(1 << 48), tasks in 1usize..=4, cpu in 0.0f64..60.0,
+    ) {
+        let world = random_world(seed, tasks, false);
+        let adm = admission(cpu);
+        let inputs = inputs_of(&world);
+        let reference = formulate_reference(&inputs, &adm, &LinearPenalty::default());
+        let heap = formulate(&inputs, &adm, &LinearPenalty::default());
+        prop_assert_eq!(&heap, &reference);
+        let prepared = prepared_of(&world);
+        let refs: Vec<&PreparedTask> = prepared.iter().collect();
+        let via_prepared = formulate_prepared(&refs, &adm);
+        prop_assert_eq!(&via_prepared, &reference);
+        if let Ok(out) = reference {
+            prop_assert!(adm.schedulable(&out.demands));
+        }
+    }
+
+    /// Prefix-feasibility shedding returns exactly what the old
+    /// "formulate, drop the tail task on Infeasible, retry" loop did:
+    /// same surviving prefix length, same formulation — on monotone
+    /// bundles (the demand-model contract), including ones whose
+    /// dependencies fail only at full degradation.
+    #[test]
+    fn prefix_shedding_matches_iterative_loop(
+        seed in 0u64..(1 << 48), tasks in 1usize..=5, cpu in 0.0f64..40.0,
+    ) {
+        let world = random_world(seed, tasks, true);
+        let adm = admission(cpu);
+        let inputs = inputs_of(&world);
+        let mut count = inputs.len();
+        let old = loop {
+            if count == 0 {
+                break None;
+            }
+            match formulate_reference(&inputs[..count], &adm, &LinearPenalty::default()) {
+                Ok(f) => break Some((count, f)),
+                Err(FormulationError::Infeasible) => count -= 1,
+            }
+        };
+        let prepared = prepared_of(&world);
+        let refs: Vec<&PreparedTask> = prepared.iter().collect();
+        let new = formulate_shedding(&refs, &adm);
+        prop_assert_eq!(new, old);
+    }
+}

@@ -47,6 +47,18 @@ pub struct DemandTerm {
 }
 
 /// The a-priori quality→resource analysis of one application class.
+///
+/// # Contract: monotone along degradation
+///
+/// Implementations must not *increase* any resource demand when a
+/// requested attribute degrades one ladder level (toward the user's
+/// less-preferred values). The §5 heuristic assumes degrading frees
+/// resources, and the provider's prefix-feasibility shedding pre-check
+/// uses the fully-degraded demand as each task's floor — a non-monotone
+/// model can make it shed a prefix the full degradation loop would have
+/// served. [`LinearDemandModel`] satisfies the contract when its
+/// coefficients are non-negative and ladders are declared best quality
+/// first.
 pub trait DemandModel: Send + Sync {
     /// Resource demand of running one task at the given quality.
     fn demand(&self, spec: &QosSpec, qv: &QualityVector) -> ResourceVector;

@@ -312,6 +312,21 @@ impl QualityVector {
         true
     }
 
+    /// Replaces the value at a flat index without membership checks.
+    /// Intended for hot paths that substitute values drawn from a resolved
+    /// request's ladder (valid by construction), e.g. the degradation
+    /// engine mutating one attribute per step instead of rebuilding the
+    /// whole vector. Returns `false` when `idx` is out of range.
+    pub fn set_flat_unchecked(&mut self, idx: usize, v: Value) -> bool {
+        match self.values.get_mut(idx) {
+            Some(slot) => {
+                *slot = v;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// All values in flattening order.
     pub fn values(&self) -> &[Value] {
         &self.values

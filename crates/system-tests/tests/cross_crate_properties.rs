@@ -8,7 +8,10 @@ use qosc_baselines::{
     builders::small_instance, exhaustive_optimal, protocol_emulation, protocol_emulation_with,
     single_node, ProposalStrategy,
 };
-use qosc_core::{formulate, Evaluator, LinearPenalty, TaskInput, TieBreak};
+use qosc_core::{
+    formulate, formulate_prepared, formulate_shedding, Evaluator, LinearPenalty, PreparedTask,
+    TaskInput, TieBreak,
+};
 use qosc_resources::{
     av_demand_model, AdmissionControl, ResourceKind, ResourceVector, SchedulingPolicy,
 };
@@ -103,6 +106,46 @@ proptest! {
                 prop_assert!(!alloc.placements.contains_key(t));
             }
             prop_assert_eq!(alloc.placements.len() + alloc.unassigned.len(), tasks);
+        }
+    }
+
+    /// The provider's prefix-feasibility shedding picks a prefix that is
+    /// (a) actually formulatable and schedulable, and (b) maximal: every
+    /// longer prefix of the same bundle is infeasible.
+    #[test]
+    fn shedding_prefix_is_maximal_and_feasible(cpu in 1.0f64..200.0, tasks in 1usize..6) {
+        use std::sync::Arc;
+        let spec = catalog::av_spec();
+        let resolved = catalog::surveillance_request().resolve(&spec).unwrap();
+        let model: Arc<dyn qosc_resources::DemandModel> = Arc::new(av_demand_model(&spec));
+        let prepared: Vec<PreparedTask> = (0..tasks)
+            .map(|_| PreparedTask::compile(
+                spec.clone(),
+                Arc::new(resolved.clone()),
+                &LinearPenalty::default(),
+                Arc::clone(&model),
+            ))
+            .collect();
+        let refs: Vec<&PreparedTask> = prepared.iter().collect();
+        let admission = AdmissionControl::new(
+            SchedulingPolicy::Edf,
+            ResourceVector::new(cpu, 512.0, 10_000.0, 60.0, 10_000.0),
+        );
+        match formulate_shedding(&refs, &admission) {
+            Some((count, out)) => {
+                prop_assert!(count >= 1 && count <= tasks);
+                prop_assert_eq!(out.levels.len(), count);
+                prop_assert!(admission.schedulable(&out.demands));
+                prop_assert_eq!(
+                    &formulate_prepared(&refs[..count], &admission), &Ok(out)
+                );
+                for longer in (count + 1)..=tasks {
+                    prop_assert!(formulate_prepared(&refs[..longer], &admission).is_err());
+                }
+            }
+            None => {
+                prop_assert!(formulate_prepared(&refs[..1], &admission).is_err());
+            }
         }
     }
 

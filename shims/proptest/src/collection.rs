@@ -7,7 +7,7 @@ use std::ops::{Range, RangeInclusive};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::strategy::Strategy;
+use crate::strategy::{NoShrink, Strategy, ValueTree};
 
 /// Size bounds for a generated collection (inclusive).
 #[derive(Debug, Clone, Copy)]
@@ -64,29 +64,55 @@ pub struct VecStrategy<S> {
 
 impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
+    type Tree = VecTree<S::Tree>;
 
-    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+    fn new_tree(&self, rng: &mut ChaCha8Rng) -> Self::Tree {
         let n = self.size.sample(rng);
-        (0..n).map(|_| self.element.generate(rng)).collect()
+        VecTree {
+            elems: (0..n).map(|_| self.element.new_tree(rng)).collect(),
+            min: self.size.min,
+        }
+    }
+}
+
+/// Tree produced by [`vec()`]: per-element subtrees plus the minimum
+/// length the strategy may shrink down to.
+#[derive(Clone)]
+pub struct VecTree<T> {
+    elems: Vec<T>,
+    min: usize,
+}
+
+impl<T: ValueTree> ValueTree for VecTree<T> {
+    type Value = Vec<T::Value>;
+
+    fn current(&self) -> Self::Value {
+        self.elems.iter().map(ValueTree::current).collect()
     }
 
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+    fn shrink(&self) -> Vec<Self> {
         let mut out = Vec::new();
         // Length first (the aggressive cut to the minimum, then one
         // element off the tail), then element-wise shrinks — capped at
         // two candidates per slot to bound the branching factor.
-        if value.len() > self.size.min {
-            out.push(value[..self.size.min].to_vec());
-            let mut one_less = value.clone();
+        if self.elems.len() > self.min {
+            out.push(Self {
+                elems: self.elems[..self.min].to_vec(),
+                min: self.min,
+            });
+            let mut one_less = self.elems.clone();
             one_less.pop();
-            if one_less.len() > self.size.min {
-                out.push(one_less);
+            if one_less.len() > self.min {
+                out.push(Self {
+                    elems: one_less,
+                    min: self.min,
+                });
             }
         }
-        for (i, v) in value.iter().enumerate() {
-            for candidate in self.element.shrink(v).into_iter().take(2) {
-                let mut next = value.clone();
-                next[i] = candidate;
+        for (i, elem) in self.elems.iter().enumerate() {
+            for candidate in elem.shrink().into_iter().take(2) {
+                let mut next = self.clone();
+                next.elems[i] = candidate;
                 out.push(next);
             }
         }
@@ -123,8 +149,21 @@ where
     S::Value: Eq + Hash,
 {
     type Value = HashSet<S::Value>;
+    type Tree = NoShrink<HashSet<S::Value>>;
 
-    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+    fn new_tree(&self, rng: &mut ChaCha8Rng) -> Self::Tree {
+        // Sets have no canonical simplification order here; they draw but
+        // do not shrink.
+        NoShrink(self.draw(rng))
+    }
+}
+
+impl<S> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    fn draw(&self, rng: &mut ChaCha8Rng) -> HashSet<S::Value> {
         let n = self.size.sample(rng);
         let mut out = HashSet::with_capacity(n);
         let mut attempts = 0usize;

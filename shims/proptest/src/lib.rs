@@ -1,17 +1,18 @@
 //! Offline shim for `proptest`: random-input property testing with the
-//! upstream macro/trait surface this workspace uses, plus minimal
-//! value-tree shrinking for the integer/usize (and tuple/vec) strategies.
+//! upstream macro/trait surface this workspace uses, plus value-tree
+//! shrinking for the numeric, tuple, vec and `prop_map` strategies.
 //!
 //! Each `proptest!` test derives its RNG seed from the test's module
 //! path and name via FNV-1a, then runs `ProptestConfig::cases`
 //! deterministic cases through [`rand_chacha::ChaCha8Rng`], so failures
 //! reproduce exactly across runs and machines. When a case fails, the
-//! runner greedily re-runs [`strategy::Strategy::shrink`] candidates
-//! (integers walk toward their range's lower bound, tuples shrink one
-//! component at a time, vecs cut length then elements) and re-raises the
-//! panic on the simplest input that still fails, printing that input
-//! first. Strategies without a canonical simplification order —
-//! `prop_map`, floats, `hash_set` — simply don't shrink.
+//! runner greedily re-runs [`strategy::ValueTree::shrink`] candidates
+//! (integers and floats walk toward their range's lower bound — floats
+//! also try the truncated integral value — tuples shrink one component
+//! at a time, vecs cut length then elements, `prop_map` shrinks the
+//! pre-map draw and re-maps it) and re-raises the panic on the simplest
+//! input that still fails, printing that input first. `hash_set` draws
+//! but does not shrink (no canonical simplification order).
 
 pub mod collection;
 pub mod strategy;
@@ -66,8 +67,9 @@ pub fn run_property<S: strategy::Strategy>(
     static HOOK_GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
     for case in 0..cases as u64 {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(base ^ case);
-        let values = strategy.generate(&mut rng);
-        if catch_unwind(AssertUnwindSafe(|| body(values.clone()))).is_ok() {
+        let tree = strategy.new_tree(&mut rng);
+        let values = strategy::ValueTree::current(&tree);
+        if catch_unwind(AssertUnwindSafe(|| body(values))).is_ok() {
             continue;
         }
         // The case failed (its panic message has already printed).
@@ -78,7 +80,7 @@ pub fn run_property<S: strategy::Strategy>(
             let _guard = HOOK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
             let hook = take_hook();
             set_hook(Box::new(|_| {}));
-            let result = strategy::minimize(strategy, values, |v| {
+            let result = strategy::minimize(tree, |v| {
                 catch_unwind(AssertUnwindSafe(|| body(v.clone()))).is_err()
             });
             set_hook(hook);

@@ -1,67 +1,91 @@
-//! Value-generation strategies, with minimal value-tree shrinking.
+//! Value-generation strategies, with value-tree shrinking.
+
+use std::sync::Arc;
 
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
+/// A generated value plus the recipe to simplify it.
+///
+/// Unlike upstream proptest's persistent trees, a tree here is just the
+/// drawn value and whatever context shrinking needs (the range's lower
+/// bound, the per-element subtrees of a vec, the mapping closure of a
+/// `prop_map`). [`minimize`] walks [`ValueTree::shrink`] candidates when
+/// a case fails, so failures are reported at (close to) their minimal
+/// reproduction instead of whatever the RNG drew first. Carrying the
+/// tree — not just the value — is what lets `prop_map` shrink: the
+/// *input* tree simplifies and the output is re-mapped, which a
+/// value-only API cannot do because the mapping is not invertible.
+pub trait ValueTree: Clone {
+    /// The generated type.
+    type Value: Clone + std::fmt::Debug;
+
+    /// The value this tree currently represents.
+    fn current(&self) -> Self::Value;
+
+    /// Simpler candidate trees, most aggressive first. Candidates must
+    /// stay inside the originating strategy's domain. The default is no
+    /// shrinking.
+    fn shrink(&self) -> Vec<Self>
+    where
+        Self: Sized,
+    {
+        Vec::new()
+    }
+}
+
 /// A recipe for generating random values of one type.
-///
-/// Unlike upstream proptest there is no persistent value tree —
-/// `generate` produces a value directly from the runner's RNG, and
-/// [`Strategy::shrink`] proposes simpler *candidate* values on demand.
-/// The `proptest!` macro drives [`minimize`] over those candidates when a
-/// case fails, so integer-driven failures are reported at (close to)
-/// their minimal reproduction instead of whatever the RNG drew first.
-///
-/// Values must be `Clone` (the failing case is re-run per candidate) and
-/// `Debug` (the minimal input is printed) — every strategy in this
-/// workspace already satisfies both.
 pub trait Strategy {
     /// The generated type.
     type Value: Clone + std::fmt::Debug;
 
-    /// Draws one value.
-    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+    /// The tree type carrying shrink context for drawn values.
+    type Tree: ValueTree<Value = Self::Value>;
 
-    /// Simpler candidate replacements for `value`, most aggressive
-    /// first. Candidates must stay inside the strategy's domain. The
-    /// default is no shrinking (strategies whose simplification order is
-    /// unclear — `prop_map`, `Just` — keep the original value).
-    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
-        Vec::new()
+    /// Draws one value together with its shrink context.
+    fn new_tree(&self, rng: &mut ChaCha8Rng) -> Self::Tree;
+
+    /// Draws one value (discarding shrink context).
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+        self.new_tree(rng).current()
     }
 
-    /// Maps generated values through `f`.
+    /// Maps generated values through `f`. Shrinking simplifies the inner
+    /// strategy's draw and re-maps it.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
         F: Fn(Self::Value) -> O,
         O: Clone + std::fmt::Debug,
     {
-        Map { inner: self, f }
+        Map {
+            inner: self,
+            f: Arc::new(f),
+        }
     }
 }
 
-/// Greedily walks [`Strategy::shrink`] candidates while `still_fails`
+/// Greedily walks [`ValueTree::shrink`] candidates while `still_fails`
 /// keeps failing, returning the simplest failing value found and the
 /// number of accepted shrink steps. Doubly bounded — by step count and
 /// by wall-clock time — so neither a pathological shrink cycle nor an
 /// expensive property body (each probe re-runs the whole case) can turn
 /// one failing test into an open-ended search.
-pub fn minimize<S: Strategy>(
-    strategy: &S,
-    mut current: S::Value,
-    mut still_fails: impl FnMut(&S::Value) -> bool,
-) -> (S::Value, usize) {
+pub fn minimize<T: ValueTree>(
+    start: T,
+    mut still_fails: impl FnMut(&T::Value) -> bool,
+) -> (T::Value, usize) {
     const MAX_STEPS: usize = 512;
     const MAX_SEARCH: std::time::Duration = std::time::Duration::from_secs(30);
     let started = std::time::Instant::now();
+    let mut current = start;
     let mut steps = 0;
     'search: while steps < MAX_STEPS && started.elapsed() < MAX_SEARCH {
-        for candidate in strategy.shrink(&current) {
+        for candidate in current.shrink() {
             if started.elapsed() >= MAX_SEARCH {
                 break 'search;
             }
-            if still_fails(&candidate) {
+            if still_fails(&candidate.current()) {
                 current = candidate;
                 steps += 1;
                 continue 'search;
@@ -69,14 +93,74 @@ pub fn minimize<S: Strategy>(
         }
         break;
     }
-    (current, steps)
+    (current.current(), steps)
+}
+
+/// A tree with no shrink candidates ([`Just`], `hash_set`).
+#[derive(Debug, Clone)]
+pub struct NoShrink<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> ValueTree for NoShrink<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.0.clone()
+    }
 }
 
 /// Strategy produced by [`Strategy::prop_map`].
-#[derive(Debug, Clone)]
 pub struct Map<S, F> {
     inner: S,
-    f: F,
+    f: Arc<F>,
+}
+
+impl<S: Clone, F> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            f: Arc::clone(&self.f),
+        }
+    }
+}
+
+/// Tree produced by [`Strategy::prop_map`]: the inner draw's tree plus
+/// the (shared) mapping closure.
+pub struct MapTree<T, F> {
+    inner: T,
+    f: Arc<F>,
+}
+
+impl<T: Clone, F> Clone for MapTree<T, F> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            f: Arc::clone(&self.f),
+        }
+    }
+}
+
+impl<T, O, F> ValueTree for MapTree<T, F>
+where
+    T: ValueTree,
+    F: Fn(T::Value) -> O,
+    O: Clone + std::fmt::Debug,
+{
+    type Value = O;
+
+    fn current(&self) -> O {
+        (self.f)(self.inner.current())
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        self.inner
+            .shrink()
+            .into_iter()
+            .map(|inner| Self {
+                inner,
+                f: Arc::clone(&self.f),
+            })
+            .collect()
+    }
 }
 
 impl<S, O, F> Strategy for Map<S, F>
@@ -86,9 +170,13 @@ where
     O: Clone + std::fmt::Debug,
 {
     type Value = O;
+    type Tree = MapTree<S::Tree, F>;
 
-    fn generate(&self, rng: &mut ChaCha8Rng) -> O {
-        (self.f)(self.inner.generate(rng))
+    fn new_tree(&self, rng: &mut ChaCha8Rng) -> Self::Tree {
+        MapTree {
+            inner: self.inner.new_tree(rng),
+            f: Arc::clone(&self.f),
+        }
     }
 }
 
@@ -98,37 +186,71 @@ pub struct Just<T>(pub T);
 
 impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
     type Value = T;
+    type Tree = NoShrink<T>;
 
-    fn generate(&self, _rng: &mut ChaCha8Rng) -> T {
-        self.0.clone()
+    fn new_tree(&self, _rng: &mut ChaCha8Rng) -> NoShrink<T> {
+        NoShrink(self.0.clone())
     }
+}
+
+/// Tree of the numeric range strategies: the drawn value plus the
+/// range's lower bound it shrinks toward.
+#[derive(Debug, Clone)]
+pub struct RangeTree<T> {
+    lo: T,
+    value: T,
+}
+
+impl<T: ShrinkTowards + Clone + std::fmt::Debug> ValueTree for RangeTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.value.clone()
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        T::shrink_towards(self.lo.clone(), self.value.clone())
+            .into_iter()
+            .map(|value| Self {
+                lo: self.lo.clone(),
+                value,
+            })
+            .collect()
+    }
+}
+
+/// Per-type "shrink toward a lower bound" rule backing the numeric range
+/// strategies.
+pub trait ShrinkTowards: Sized {
+    /// Simpler in-domain candidates for `value`, most aggressive first.
+    fn shrink_towards(lo: Self, value: Self) -> Vec<Self>;
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            type Tree = RangeTree<$t>;
+            fn new_tree(&self, rng: &mut ChaCha8Rng) -> RangeTree<$t> {
+                RangeTree { lo: self.start, value: rng.gen_range(self.clone()) }
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            type Tree = RangeTree<$t>;
+            fn new_tree(&self, rng: &mut ChaCha8Rng) -> RangeTree<$t> {
+                RangeTree { lo: *self.start(), value: rng.gen_range(self.clone()) }
+            }
+        }
+    )*};
 }
 
 // Integer ranges shrink toward their lower bound: the bound itself (the
 // most aggressive jump), the midpoint, and one step down. Assumes the
 // span fits the type, which holds for every range strategy in this
 // workspace.
-macro_rules! int_range_strategy {
+macro_rules! int_shrink_towards {
     ($($t:ty),*) => {$(
-        impl Strategy for core::ops::Range<$t> {
-            type Value = $t;
-            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
-                rng.gen_range(self.clone())
-            }
-            fn shrink(&self, value: &$t) -> Vec<$t> {
-                shrink_towards(self.start, *value)
-            }
-        }
-        impl Strategy for core::ops::RangeInclusive<$t> {
-            type Value = $t;
-            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
-                rng.gen_range(self.clone())
-            }
-            fn shrink(&self, value: &$t) -> Vec<$t> {
-                shrink_towards(*self.start(), *value)
-            }
-        }
-
         impl ShrinkTowards for $t {
             fn shrink_towards(lo: $t, value: $t) -> Vec<$t> {
                 if value <= lo {
@@ -148,52 +270,59 @@ macro_rules! int_range_strategy {
     )*};
 }
 
-/// Per-type "shrink toward a lower bound" rule backing the integer range
-/// strategies.
-trait ShrinkTowards: Sized {
-    fn shrink_towards(lo: Self, value: Self) -> Vec<Self>;
-}
+int_shrink_towards!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+numeric_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 
-fn shrink_towards<T: ShrinkTowards>(lo: T, value: T) -> Vec<T> {
-    T::shrink_towards(lo, value)
-}
-
-int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
-
-// Float ranges generate but do not shrink (no obviously-canonical
-// simplification order for continuous draws).
-macro_rules! float_range_strategy {
+// Float ranges shrink toward their lower bound: the bound, the bisection
+// midpoint, and the truncation toward an integral value (minimal inputs
+// like `17.0` read better than `17.38412…`). NaN never shrinks. The
+// bisection chain terminates because each accepted step at least halves
+// the distance to the bound and `minimize` caps steps anyway.
+macro_rules! float_shrink_towards {
     ($($t:ty),*) => {$(
-        impl Strategy for core::ops::Range<$t> {
-            type Value = $t;
-            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
-                rng.gen_range(self.clone())
-            }
-        }
-        impl Strategy for core::ops::RangeInclusive<$t> {
-            type Value = $t;
-            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
-                rng.gen_range(self.clone())
+        impl ShrinkTowards for $t {
+            fn shrink_towards(lo: $t, value: $t) -> Vec<$t> {
+                if value.is_nan() || value <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo];
+                let mid = lo + (value - lo) / 2.0;
+                if mid > lo && mid < value {
+                    out.push(mid);
+                }
+                let trunc = value.trunc();
+                if trunc > lo && trunc < value && trunc != mid {
+                    out.push(trunc);
+                }
+                out
             }
         }
     )*};
 }
 
-float_range_strategy!(f32, f64);
+float_shrink_towards!(f32, f64);
+numeric_range_strategy!(f32, f64);
 
 macro_rules! tuple_strategy {
     ($(($($s:ident / $idx:tt),+))*) => {$(
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {
             type Value = ($($s::Value,)+);
-            fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
-                ($(self.$idx.generate(rng),)+)
+            type Tree = ($($s::Tree,)+);
+            fn new_tree(&self, rng: &mut ChaCha8Rng) -> Self::Tree {
+                ($(self.$idx.new_tree(rng),)+)
             }
-            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        }
+        impl<$($s: ValueTree),+> ValueTree for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn current(&self) -> Self::Value {
+                ($(self.$idx.current(),)+)
+            }
+            fn shrink(&self) -> Vec<Self> {
                 // One component shrunk at a time, the others held fixed.
                 let mut out = Vec::new();
                 $(
-                    for candidate in self.$idx.shrink(&value.$idx) {
-                        let mut next = value.clone();
+                    for candidate in self.$idx.shrink() {
+                        let mut next = self.clone();
                         next.$idx = candidate;
                         out.push(next);
                     }
@@ -218,22 +347,43 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
+    fn tree_of<S: Strategy>(strat: &S, value: S::Value) -> S::Tree
+    where
+        S::Value: PartialEq,
+    {
+        // Draw trees until one carries the wanted value (test helper for
+        // deterministic shrink assertions on small domains).
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let t = strat.new_tree(&mut rng);
+            if t.current() == value {
+                return t;
+            }
+        }
+        panic!("value never drawn");
+    }
+
     #[test]
     fn integer_shrink_stays_in_domain_and_decreases() {
         let strat = 3u64..100;
         for v in [4u64, 50, 99] {
-            for c in strat.shrink(&v) {
-                assert!(c >= 3 && c < v, "candidate {c} out of order for {v}");
+            let tree = tree_of(&strat, v);
+            for c in tree.shrink() {
+                let cv = c.current();
+                assert!(cv >= 3 && cv < v, "candidate {cv} out of order for {v}");
             }
         }
-        assert!(strat.shrink(&3).is_empty(), "lower bound has no shrinks");
+        assert!(
+            tree_of(&strat, 3).shrink().is_empty(),
+            "lower bound has no shrinks"
+        );
     }
 
     #[test]
     fn minimize_finds_the_boundary() {
         // Property "fails for v >= 17" over 0..1000 must minimise to 17.
-        let strat = 0usize..1000;
-        let (min, steps) = minimize(&strat, 930, |&v| v >= 17);
+        let tree = tree_of(&(0usize..1000), 930);
+        let (min, steps) = minimize(tree, |&v| v >= 17);
         assert_eq!(min, 17);
         assert!(steps > 0);
     }
@@ -242,15 +392,52 @@ mod tests {
     fn tuple_minimize_shrinks_each_component() {
         let strat = (0i64..100, 1usize..=64);
         // Fails whenever a >= 10 and b >= 5: minimal failing is (10, 5).
-        let (min, _) = minimize(&strat, (73, 40), |&(a, b)| a >= 10 && b >= 5);
+        let tree = tree_of(&strat, (73, 40));
+        let (min, _) = minimize(tree, |&(a, b)| a >= 10 && b >= 5);
         assert_eq!(min, (10, 5));
     }
 
     #[test]
     fn minimize_keeps_unshrinkable_failures() {
-        let strat = 0u32..10;
-        let (min, steps) = minimize(&strat, 7, |&v| v == 7);
+        let tree = tree_of(&(0u32..10), 7);
+        let (min, steps) = minimize(tree, |&v| v == 7);
         assert_eq!((min, steps), (7, 0));
+    }
+
+    #[test]
+    fn float_minimize_converges_to_the_boundary() {
+        // Fails for v >= 17.0 over 0.0..1000.0. Greedy bisection (no
+        // complicate phase) guarantees landing inside the factor-2
+        // bracket [boundary, 2·boundary), and truncation makes the
+        // reported minimum integral.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let tree = (0.0f64..1000.0).new_tree(&mut rng);
+        assert!(tree.current() >= 34.0, "draw large enough for the test");
+        let (min, steps) = minimize(tree, |&v| v >= 17.0);
+        assert!(steps > 0);
+        assert!((17.0..34.0).contains(&min), "minimal input {min}");
+        assert_eq!(min.fract(), 0.0, "trunc candidate makes it integral");
+    }
+
+    #[test]
+    fn float_shrink_stays_in_domain_and_never_shrinks_nan() {
+        for c in <f64 as ShrinkTowards>::shrink_towards(1.5, 900.25) {
+            assert!((1.5..900.25).contains(&c));
+        }
+        assert!(<f64 as ShrinkTowards>::shrink_towards(0.0, f64::NAN).is_empty());
+    }
+
+    #[test]
+    fn prop_map_shrinks_through_the_mapping() {
+        // Even-number strategy via prop_map: minimal failing even >= 34
+        // is 34 — reachable only by shrinking the pre-map draw.
+        let strat = (0u32..1000).prop_map(|v| v * 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let tree = strat.new_tree(&mut rng);
+        assert!(tree.current() >= 34);
+        let (min, steps) = minimize(tree, |&v| v >= 34);
+        assert_eq!(min, 34);
+        assert!(steps > 0);
     }
 
     #[test]
