@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use qosc_core::EvalConfig;
+use qosc_core::{EvalConfig, OrganizerStrategy, ProviderStrategy};
 use qosc_resources::{av_demand_model, ResourceVector, SchedulingPolicy};
 use qosc_spec::{catalog, TaskId};
 
@@ -29,6 +29,7 @@ pub fn small_instance(cpus: &[f64], tasks: usize) -> Instance {
                 policy: SchedulingPolicy::Edf,
                 models,
                 reward: None,
+                chain: ProviderStrategy::default(),
             }
         })
         .collect();
@@ -48,6 +49,7 @@ pub fn small_instance(cpus: &[f64], tasks: usize) -> Instance {
         nodes,
         tasks,
         eval: EvalConfig::default(),
+        chain: OrganizerStrategy::default(),
     }
 }
 

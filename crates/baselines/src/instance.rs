@@ -8,7 +8,10 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use qosc_core::{CompiledRequest, EvalConfig, LinearPenalty, PreparedTask, RewardModel};
+use qosc_core::{
+    local_reward, CompiledRequest, EvalConfig, LinearPenalty, OrganizerStrategy, PreparedTask,
+    ProviderStrategy, RewardModel,
+};
 use qosc_resources::{AdmissionControl, DemandModel, ResourceVector, SchedulingPolicy};
 use qosc_spec::{QosSpec, ResolvedRequest, TaskId};
 
@@ -42,6 +45,19 @@ pub struct OfflineNode {
     /// The node's local reward model for the §5 heuristic (nodes may run
     /// different degradation policies; `None` = linear default).
     pub reward: Option<Arc<dyn RewardModel>>,
+    /// Provider-side strategy chain (participation gates, offer review);
+    /// the default empty chain reproduces the unconditioned provider.
+    pub chain: ProviderStrategy,
+}
+
+impl OfflineNode {
+    /// The reward model this node formulates and prices with.
+    pub fn reward_model(&self) -> &dyn RewardModel {
+        match self.reward.as_deref() {
+            Some(r) => r,
+            None => default_reward().as_ref(),
+        }
+    }
 }
 
 impl OfflineNode {
@@ -157,6 +173,9 @@ pub struct Instance {
     pub tasks: Vec<OfflineTask>,
     /// Evaluation knobs shared by all policies.
     pub eval: EvalConfig,
+    /// Organizer-side strategy chain (candidate review, winner selection,
+    /// retry); the default empty chain reproduces the §4.2 organizer.
+    pub chain: OrganizerStrategy,
 }
 
 /// One task's placement in an allocation.
@@ -172,6 +191,9 @@ pub struct Placement {
     pub comm_cost: f64,
     /// Resource demand of the placed task at the served quality.
     pub demand: ResourceVector,
+    /// Per-task eq. 1 reward at the served levels, under the serving
+    /// node's reward model (what reserve-price components threshold).
+    pub reward: f64,
 }
 
 /// Result of an allocation policy.
@@ -353,6 +375,7 @@ fn price_outcome(
         } else {
             f64::INFINITY
         };
+        let reward = local_reward(&t.request, &out.levels[i], node.reward_model());
         placements.push((
             t.id,
             Placement {
@@ -361,6 +384,7 @@ fn price_outcome(
                 distance,
                 comm_cost,
                 demand: out.demands[i],
+                reward,
             },
         ));
     }
@@ -440,6 +464,7 @@ mod tests {
                 distance: 0.2,
                 comm_cost: 1.0,
                 demand: ResourceVector::ZERO,
+                reward: 0.0,
             },
         );
         a.placements.insert(
@@ -450,6 +475,7 @@ mod tests {
                 distance: 0.4,
                 comm_cost: 0.5,
                 demand: ResourceVector::ZERO,
+                reward: 0.0,
             },
         );
         a.unassigned.push(TaskId(2));

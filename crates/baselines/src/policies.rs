@@ -17,7 +17,8 @@ use std::collections::BTreeMap;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use qosc_core::{select_winners, Candidate, TieBreak};
+use qosc_core::strategy::{AwardContext, CandidateContext, CfpContext, RetryContext, TaskOffer};
+use qosc_core::{local_reward, Candidate, TieBreak};
 use qosc_resources::ResourceVector;
 use qosc_spec::TaskId;
 
@@ -180,11 +181,14 @@ pub fn protocol_emulation_with(
     tiebreak: &TieBreak,
     strategy: ProposalStrategy,
 ) -> Allocation {
-    use crate::instance::{formulate_on_node_with_capacity, formulate_subset_on_node};
+    use crate::instance::{formulate_on_node_with_capacity, formulate_subset_on_node, OfflineTask};
+    let by_id: std::collections::HashMap<TaskId, &OfflineTask> =
+        instance.tasks.iter().map(|t| (t.id, t)).collect();
     let mut remaining: Vec<TaskId> = instance.tasks.iter().map(|t| t.id).collect();
     let mut capacities: BTreeMap<Pid, ResourceVector> =
         instance.nodes.iter().map(|n| (n.id, n.capacity)).collect();
     let mut alloc = Allocation::default();
+    let mut round: u32 = 0;
     while !remaining.is_empty() {
         let mut candidates: BTreeMap<TaskId, Vec<Candidate>> = BTreeMap::new();
         let mut offers: BTreeMap<(Pid, TaskId), crate::instance::Placement> = BTreeMap::new();
@@ -193,6 +197,18 @@ pub fn protocol_emulation_with(
         }
         for node in &instance.nodes {
             let cap = capacities[&node.id];
+            // Provider-side participation gate (battery-style components);
+            // the empty chain always participates.
+            let cfp = CfpContext {
+                node: node.id,
+                round,
+                task_count: remaining.len(),
+                available: cap,
+                capacity: node.capacity,
+            };
+            if !node.chain.participates(&cfp) {
+                continue;
+            }
             let placements = match strategy {
                 // Mirror the joint provider: one formulation over the open
                 // set, the engine's prefix-feasibility pre-check shedding
@@ -218,28 +234,93 @@ pub fn protocol_emulation_with(
                     out
                 }
             };
-            for (id, p) in placements {
-                candidates.get_mut(&id).unwrap().push(Candidate {
+            for (id, mut p) in placements {
+                let task = by_id[&id];
+                // Provider-side offer review: components may withhold the
+                // offer (reserve price) or degrade/mark it up (selfish).
+                let mut offer = TaskOffer {
+                    task: id,
+                    levels: p.levels.clone(),
+                    ladder: task.request.ladder_lengths(),
+                    demand: p.demand,
+                    reward: p.reward,
+                    task_reward: p.reward,
+                };
+                if !node.chain.review_offer(&cfp, &mut offer) {
+                    continue; // withheld
+                }
+                if offer.levels != p.levels {
+                    // A component re-levelled the offer: clamp to the
+                    // ladders and re-price distance and reward at what
+                    // will actually be served.
+                    let levels: Vec<usize> = offer
+                        .levels
+                        .iter()
+                        .zip(offer.ladder.iter())
+                        .map(|(&l, &len)| l.min(len.saturating_sub(1)))
+                        .collect();
+                    p.distance = task
+                        .compiled(instance.eval)
+                        .distance_of_levels(&levels)
+                        .expect("clamped levels are in range");
+                    p.reward = local_reward(&task.request, &levels, node.reward_model());
+                    p.levels = levels;
+                }
+                // Organizer-side candidate review: rescoring (reputation)
+                // affects selection only; the placement keeps the true
+                // eq. 2 distance of the served quality.
+                let mut candidate = Candidate {
                     node: node.id,
                     distance: p.distance,
                     comm_cost: p.comm_cost,
-                });
+                };
+                let cctx = CandidateContext {
+                    organizer: instance.requester,
+                    task: id,
+                    round,
+                };
+                if !instance.chain.review_candidate(&cctx, &mut candidate) {
+                    continue; // rejected
+                }
+                candidates.get_mut(&id).unwrap().push(candidate);
                 offers.insert((node.id, id), p);
             }
         }
-        let selection = select_winners(&candidates, tiebreak);
-        if selection.assignments.is_empty() {
-            break; // no node can serve anything still open
-        }
+        let selection = instance.chain.select(&candidates, tiebreak);
+        let mut placed_any = false;
         for (task, node) in selection.assignments {
             let p = offers
                 .remove(&(node, task))
                 .expect("winner came from an offer");
+            let winner = instance
+                .nodes
+                .iter()
+                .find(|n| n.id == node)
+                .expect("winner is a known node");
+            if !winner.chain.accepts_award(&AwardContext { node, task }) {
+                continue; // provider declined the award; task stays open
+            }
             let cap = capacities.get_mut(&node).expect("winner is a known node");
             *cap -= p.demand;
             alloc.placements.insert(task, p);
             remaining.retain(|t| *t != task);
+            placed_any = true;
         }
+        if !placed_any {
+            break; // no node can serve anything still open
+        }
+        // Organizer-side retry decision; offline rounds are unbounded, so
+        // the default fold keeps looping until a round makes no progress.
+        if !remaining.is_empty()
+            && !instance.chain.retries(&RetryContext {
+                round,
+                max_rounds: u32::MAX,
+                open_tasks: remaining.len(),
+            })
+        {
+            break;
+        }
+        round = round.saturating_add(1);
     }
     alloc.unassigned = remaining;
     alloc

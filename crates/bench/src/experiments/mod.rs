@@ -12,6 +12,7 @@ pub mod f4;
 pub mod f5;
 pub mod f6;
 pub mod f7;
+pub mod f8;
 pub mod t1;
 pub mod t2;
 pub mod t3;
@@ -20,8 +21,8 @@ pub mod t4;
 use crate::table::Table;
 
 /// All experiment ids in canonical order.
-pub const ALL: [&str; 11] = [
-    "f1", "f2", "f3", "f4", "f5", "f6", "f7", "t1", "t2", "t3", "t4",
+pub const ALL: [&str; 12] = [
+    "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "t1", "t2", "t3", "t4",
 ];
 
 /// Runs one experiment by id.
@@ -34,6 +35,7 @@ pub fn run(id: &str) -> Option<Table> {
         "f5" => f5::run(),
         "f6" => f6::run(),
         "f7" => f7::run(),
+        "f8" => f8::run(),
         "t1" => t1::run(),
         "t2" => t2::run(),
         "t3" => t3::run(),

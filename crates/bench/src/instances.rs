@@ -12,7 +12,8 @@ use rand_chacha::ChaCha8Rng;
 use qosc_baselines::{Instance, OfflineNode, OfflineTask};
 use qosc_core::{
     CoalitionNode, DirectRuntime, EvalConfig, LinearPenalty, OrganizerConfig, OrganizerEngine,
-    ProviderConfig, ProviderEngine, QuadraticPenalty, RewardModel, Runtime,
+    OrganizerStrategy, ProviderConfig, ProviderEngine, ProviderStrategy, QuadraticPenalty,
+    RewardModel, Runtime,
 };
 use qosc_resources::{ResourceKind, SchedulingPolicy};
 use qosc_spec::{ServiceDef, TaskDef, TaskId};
@@ -58,6 +59,7 @@ pub fn population_instance(
                 policy: SchedulingPolicy::Edf,
                 models,
                 reward: Some(reward),
+                chain: ProviderStrategy::default(),
             }
         })
         .collect();
@@ -78,6 +80,7 @@ pub fn population_instance(
         nodes,
         tasks,
         eval: EvalConfig::default(),
+        chain: OrganizerStrategy::default(),
     }
 }
 
@@ -100,6 +103,7 @@ pub fn instance_runtime(inst: &Instance) -> DirectRuntime {
                 link_kbps: n.link_kbps,
                 policy: n.policy,
                 reward,
+                chain: n.chain.clone(),
                 ..Default::default()
             },
         );
@@ -113,6 +117,7 @@ pub fn instance_runtime(inst: &Instance) -> DirectRuntime {
                 OrganizerConfig {
                     eval: inst.eval,
                     monitor: false,
+                    chain: inst.chain.clone(),
                     ..Default::default()
                 },
             ));

@@ -89,6 +89,12 @@ pub trait RewardModel: Send + Sync {
         level: usize,
         ladder_len: usize,
     ) -> f64;
+
+    /// Short identifier for `Debug` output of configs holding a
+    /// `dyn RewardModel` (trait objects cannot derive `Debug`).
+    fn name(&self) -> &'static str {
+        "custom"
+    }
 }
 
 /// Penalty = `w_k · w_i · level/(len−1)` — linear in ladder distance,
@@ -101,6 +107,10 @@ pub struct LinearPenalty {
 }
 
 impl RewardModel for LinearPenalty {
+    fn name(&self) -> &'static str {
+        "linear-penalty"
+    }
+
     fn penalty(
         &self,
         dim_rank: usize,
@@ -127,6 +137,10 @@ pub struct QuadraticPenalty {
 }
 
 impl RewardModel for QuadraticPenalty {
+    fn name(&self) -> &'static str {
+        "quadratic-penalty"
+    }
+
     fn penalty(
         &self,
         dim_rank: usize,

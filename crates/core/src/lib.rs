@@ -91,6 +91,7 @@ mod organizer;
 mod protocol;
 mod provider;
 pub mod runtime;
+pub mod strategy;
 
 pub use compiled::CompiledRequest;
 pub use evaluation::{DifMode, EvalConfig, Evaluator, Inadmissible, WeightScheme};
@@ -110,3 +111,4 @@ pub use runtime::{
     dissolve_token, kickoff_token, single_organizer_scenario, ActorRuntime, ActorWire,
     CoalitionNode, DesRuntime, DirectRuntime, LoggedEvent, NodeEngine, Runtime, RuntimeError,
 };
+pub use strategy::{OrganizerComponent, OrganizerStrategy, ProviderComponent, ProviderStrategy};

@@ -36,11 +36,12 @@ use qosc_spec::{ServiceDef, SpecError, TaskId};
 
 use crate::compiled::CompiledRequest;
 use crate::evaluation::EvalConfig;
-use crate::formation::{select_winners, Candidate, TieBreak};
+use crate::formation::{Candidate, TieBreak};
 use crate::metrics::{NegoEvent, NegotiationMetrics, TaskOutcome};
 use crate::protocol::{
     encode_timer, Action, Msg, NegoId, Pid, TaskAnnouncement, TaskProposal, TimerKind,
 };
+use crate::strategy::{CandidateContext, OrganizerStrategy, RetryContext};
 
 /// Organizer tunables.
 #[derive(Debug, Clone)]
@@ -61,6 +62,10 @@ pub struct OrganizerConfig {
     pub eval: EvalConfig,
     /// Enable operation-phase heartbeat monitoring.
     pub monitor: bool,
+    /// Pluggable decision chain consulted when filtering candidates,
+    /// selecting winners and deciding retry vs give-up; empty = exact
+    /// pre-chain behaviour (see [`crate::strategy`]).
+    pub chain: OrganizerStrategy,
 }
 
 impl Default for OrganizerConfig {
@@ -74,6 +79,7 @@ impl Default for OrganizerConfig {
             tiebreak: TieBreak::default(),
             eval: EvalConfig::default(),
             monitor: true,
+            chain: OrganizerStrategy::default(),
         }
     }
 }
@@ -284,11 +290,23 @@ impl OrganizerEngine {
             } else {
                 f64::INFINITY
             };
-            n.candidates.entry(p.task).or_default().push(Candidate {
+            // Strategy-chain candidate review: components may rescore
+            // (reputation weighting) or reject outright. The empty chain
+            // keeps the eq. 2 scores untouched.
+            let mut candidate = Candidate {
                 node: from,
                 distance,
                 comm_cost,
-            });
+            };
+            let ctx = CandidateContext {
+                organizer: self.id,
+                task: p.task,
+                round: n.round,
+            };
+            if !self.config.chain.review_candidate(&ctx, &mut candidate) {
+                continue;
+            }
+            n.candidates.entry(p.task).or_default().push(candidate);
         }
         Vec::new()
     }
@@ -305,7 +323,9 @@ impl OrganizerEngine {
         for t in &n.open {
             per_task.insert(*t, n.candidates.get(t).cloned().unwrap_or_default());
         }
-        let selection = select_winners(&per_task, &self.config.tiebreak);
+        // Winner selection through the chain: the first component with an
+        // opinion overrides; otherwise the §4.2 greedy tie-break applies.
+        let selection = self.config.chain.select(&per_task, &self.config.tiebreak);
         let mut actions = Vec::new();
         n.pending.clear();
         for (task, node) in &selection.assignments {
@@ -406,7 +426,15 @@ impl OrganizerEngine {
         let Some(n) = self.negotiations.get_mut(&nego) else {
             return Vec::new();
         };
-        if !n.open.is_empty() && n.round + 1 < config.max_rounds {
+        // Retry vs give-up through the chain; the default fold is the
+        // legacy round-budget check.
+        let retry = !n.open.is_empty()
+            && config.chain.retries(&RetryContext {
+                round: n.round,
+                max_rounds: config.max_rounds,
+                open_tasks: n.open.len(),
+            });
+        if retry {
             n.round += 1;
             return Self::issue_cfp(&config, nego, n);
         }
@@ -482,7 +510,15 @@ impl OrganizerEngine {
             }
         }
         let mut actions = Vec::new();
-        if !failed_nodes.is_empty() && n.round + 1 < config.max_rounds {
+        // Reconfiguration is a retry decision too: the chain decides
+        // whether the lost tasks get re-auctioned or stay down.
+        let reconfigure = !failed_nodes.is_empty()
+            && config.chain.retries(&RetryContext {
+                round: n.round,
+                max_rounds: config.max_rounds,
+                open_tasks: failed_nodes.len(),
+            });
+        if reconfigure {
             // Reconfiguration: re-auction every task held by failed nodes.
             let mut lost: Vec<TaskId> = Vec::new();
             for node in &failed_nodes {

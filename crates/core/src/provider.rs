@@ -21,10 +21,11 @@ use qosc_resources::{
 };
 use qosc_spec::TaskId;
 
-use crate::formulation::{Formulator, LinearPenalty, PreparedTask, RewardModel};
+use crate::formulation::{local_reward, Formulator, LinearPenalty, PreparedTask, RewardModel};
 use crate::protocol::{
     encode_timer, Action, Msg, NegoId, Pid, TaskAnnouncement, TaskProposal, TimerKind,
 };
+use crate::strategy::{AwardContext, CfpContext, ProviderStrategy, TaskOffer};
 
 /// How the provider prices a multi-task CFP (see experiment F4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,6 +57,9 @@ pub struct ProviderConfig {
     pub reward: Arc<dyn RewardModel>,
     /// Multi-task pricing strategy.
     pub strategy: ProposalStrategy,
+    /// Pluggable decision chain consulted at every CFP/award decision
+    /// point; empty = exact pre-chain behaviour (see [`crate::strategy`]).
+    pub chain: ProviderStrategy,
 }
 
 impl Default for ProviderConfig {
@@ -68,18 +72,26 @@ impl Default for ProviderConfig {
             participate: true,
             reward: Arc::new(LinearPenalty::default()),
             strategy: ProposalStrategy::Joint,
+            chain: ProviderStrategy::default(),
         }
     }
 }
 
 impl std::fmt::Debug for ProviderConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Every tunable shows up, so property-test failure output carries
+        // the full provider configuration (the `dyn RewardModel` prints
+        // its name — trait objects cannot derive `Debug`).
         f.debug_struct("ProviderConfig")
             .field("link_kbps", &self.link_kbps)
             .field("policy", &self.policy)
             .field("hold_ttl", &self.hold_ttl)
+            .field("heartbeat_interval", &self.heartbeat_interval)
             .field("participate", &self.participate)
-            .finish_non_exhaustive()
+            .field("reward", &self.reward.name())
+            .field("strategy", &self.strategy)
+            .field("chain", &self.chain)
+            .finish()
     }
 }
 
@@ -156,7 +168,7 @@ impl ProviderEngine {
     /// Handles an inbound protocol message addressed to this provider.
     pub fn on_message(&mut self, now: SimTime, from: Pid, msg: &Msg) -> Vec<Action> {
         match msg {
-            Msg::CallForProposals { nego, tasks, .. } => self.on_cfp(now, *nego, tasks),
+            Msg::CallForProposals { nego, tasks, round } => self.on_cfp(now, *nego, tasks, *round),
             Msg::Award { nego, task } => self.on_award(now, *nego, *task),
             Msg::Release { nego } => self.on_release(*nego),
             _ => {
@@ -187,7 +199,13 @@ impl ProviderEngine {
         // We conservatively keep entries; the ledger is the truth.
     }
 
-    fn on_cfp(&mut self, now: SimTime, nego: NegoId, tasks: &[TaskAnnouncement]) -> Vec<Action> {
+    fn on_cfp(
+        &mut self,
+        now: SimTime,
+        nego: NegoId,
+        tasks: &[TaskAnnouncement],
+        round: u32,
+    ) -> Vec<Action> {
         if !self.config.participate || tasks.is_empty() {
             return Vec::new();
         }
@@ -204,6 +222,18 @@ impl ProviderEngine {
             if let Some(h) = self.holds.remove(&k) {
                 self.ledger.release(h);
             }
+        }
+        // Strategy-chain participation gate (battery policies, etc.),
+        // evaluated against the capacity actually uncommitted right now.
+        let ctx = CfpContext {
+            node: self.id,
+            round,
+            task_count: tasks.len(),
+            available: self.ledger.available(),
+            capacity: self.ledger.capacity(),
+        };
+        if !self.config.chain.participates(&ctx) {
+            return Vec::new();
         }
         // Resolve + compile every announced request through the engine's
         // cache (repeated rounds and repeated specs hit it); unknown specs
@@ -268,13 +298,39 @@ impl ProviderEngine {
             return Vec::new();
         }
 
+        // Strategy-chain offer review: each priced entry becomes a
+        // [`TaskOffer`] components may adjust (degrade, re-price) or
+        // withhold before any hold is placed. The empty chain keeps every
+        // offer exactly as formulated.
+        let mut offers: Vec<(usize, TaskOffer)> = Vec::with_capacity(priced.len());
+        for (i, levels, demand, reward) in priced {
+            let p = &prepared[i];
+            let request = p.task.request();
+            let ladder: Vec<usize> = request.iter_attrs().map(|(_, a)| a.levels.len()).collect();
+            let task_reward = local_reward(request, &levels, self.config.reward.as_ref());
+            let mut offer = TaskOffer {
+                task: p.ann.task,
+                levels,
+                ladder,
+                demand,
+                reward,
+                task_reward,
+            };
+            if self.config.chain.review_offer(&ctx, &mut offer) {
+                offers.push((i, offer));
+            }
+        }
+        if offers.is_empty() {
+            return Vec::new();
+        }
+
         // Place tentative holds; roll back everything if any hold fails
         // (the ledger raced with another negotiation's award).
         let expires = (now + self.config.hold_ttl).as_micros();
         let mut placed: Vec<(TaskId, VectorHold)> = Vec::new();
-        for (i, _, demand, _) in &priced {
-            match self.ledger.prepare(demand, expires) {
-                Ok(h) => placed.push((prepared[*i].ann.task, h)),
+        for (_, offer) in &offers {
+            match self.ledger.prepare(&offer.demand, expires) {
+                Ok(h) => placed.push((offer.task, h)),
                 Err(_) => {
                     for (_, h) in placed {
                         self.ledger.release(h);
@@ -287,10 +343,18 @@ impl ProviderEngine {
             self.holds.insert((nego, *task), *hold);
         }
 
-        // Build the proposal bundle.
-        let mut proposals = Vec::with_capacity(priced.len());
-        for (i, levels, demand, reward) in priced {
+        // Build the proposal bundle (levels clamped to each ladder, so a
+        // component cannot push an offer off the announced value range).
+        let mut proposals = Vec::with_capacity(offers.len());
+        for (i, offer) in offers {
             let p = &prepared[i];
+            let levels: Vec<usize> = p
+                .task
+                .request()
+                .iter_attrs()
+                .zip(offer.levels.iter())
+                .map(|((_, a), &l)| l.min(a.levels.len() - 1))
+                .collect();
             let offered: Vec<qosc_spec::Value> = p
                 .task
                 .request()
@@ -299,12 +363,12 @@ impl ProviderEngine {
                 .map(|((_, a), &l)| a.levels[l].clone())
                 .collect();
             proposals.push(TaskProposal {
-                task: p.ann.task,
+                task: offer.task,
                 offered,
                 levels,
-                demand,
+                demand: offer.demand,
                 link_kbps: self.config.link_kbps,
-                reward,
+                reward: offer.reward,
             });
         }
         vec![
@@ -336,6 +400,22 @@ impl ProviderEngine {
                 },
             )];
         };
+        if !self.config.chain.accepts_award(&AwardContext {
+            node: self.id,
+            task,
+        }) {
+            // A strategy component vetoed the award: decline and release
+            // the tentative hold rather than letting it expire.
+            self.ledger.release(hold);
+            return vec![Action::send(
+                nego.organizer,
+                Msg::Decline {
+                    nego,
+                    task,
+                    from: self.id,
+                },
+            )];
+        }
         if self.ledger.commit(hold).is_err() {
             // The tentative hold expired between proposal and award.
             return vec![Action::send(
@@ -432,6 +512,28 @@ mod tests {
     use super::*;
     use qosc_resources::{av_demand_model, ResourceKind};
     use qosc_spec::catalog;
+
+    #[test]
+    fn config_debug_exposes_every_tunable() {
+        let dbg = format!("{:?}", ProviderConfig::default());
+        for field in [
+            "link_kbps",
+            "policy",
+            "hold_ttl",
+            "heartbeat_interval",
+            "participate",
+            "reward",
+            "strategy",
+            "chain",
+        ] {
+            assert!(dbg.contains(field), "missing {field} in {dbg}");
+        }
+        assert!(dbg.contains("linear-penalty"), "reward model name: {dbg}");
+        let dbg = format!("{:?}", crate::OrganizerConfig::default());
+        for field in ["tiebreak", "max_rounds", "eval", "monitor", "chain"] {
+            assert!(dbg.contains(field), "missing {field} in {dbg}");
+        }
+    }
 
     fn announcement(task: u32) -> TaskAnnouncement {
         TaskAnnouncement {

@@ -1,0 +1,217 @@
+//! Property-based tests of the strategy-chain folds: the default (empty)
+//! chain — and any chain of identity components — must be observationally
+//! identical to the pre-refactor decision logic, and the shipped
+//! components must respect their documented envelopes.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use qosc_core::strategy::{
+    AwardContext, CandidateContext, CandidateResponse, CfpContext, OfferResponse, PatienceLimit,
+    ReputationScorer, ReservePrice, RetryContext, SelfishMarkup, TaskOffer,
+};
+use qosc_core::{
+    select_winners, Candidate, OrganizerComponent, OrganizerStrategy, ProviderComponent,
+    ProviderStrategy, TieBreak,
+};
+use qosc_resources::ResourceVector;
+use qosc_spec::TaskId;
+
+/// A provider component that implements nothing beyond the defaults.
+struct PassthroughProvider;
+
+impl ProviderComponent for PassthroughProvider {
+    fn name(&self) -> &'static str {
+        "passthrough"
+    }
+}
+
+/// An organizer component that implements nothing beyond the defaults.
+struct PassthroughOrganizer;
+
+impl OrganizerComponent for PassthroughOrganizer {
+    fn name(&self) -> &'static str {
+        "passthrough"
+    }
+}
+
+fn candidate() -> impl Strategy<Value = Candidate> {
+    (0u32..8, 0.0f64..2.0, 0.0f64..10.0).prop_map(|(node, distance, comm_cost)| Candidate {
+        node,
+        distance,
+        comm_cost,
+    })
+}
+
+fn pool() -> impl Strategy<Value = Vec<Candidate>> {
+    proptest::collection::vec(candidate(), 0..6).prop_map(|cs| {
+        let mut seen = std::collections::BTreeSet::new();
+        cs.into_iter().filter(|c| seen.insert(c.node)).collect()
+    })
+}
+
+fn instance() -> impl Strategy<Value = BTreeMap<TaskId, Vec<Candidate>>> {
+    proptest::collection::vec(pool(), 1..5).prop_map(|tasks| {
+        tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, cs)| (TaskId(i as u32), cs))
+            .collect()
+    })
+}
+
+/// `(levels, ladder)` with every level inside its ladder.
+fn levelled() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    proptest::collection::vec((1usize..=6, 0usize..6), 1..5)
+        .prop_map(|pairs| pairs.into_iter().map(|(len, lvl)| (lvl % len, len)).unzip())
+}
+
+fn offer() -> impl Strategy<Value = TaskOffer> {
+    (levelled(), 0.0f64..8.0, 0.0f64..8.0).prop_map(|((levels, ladder), reward, task_reward)| {
+        TaskOffer {
+            task: TaskId(0),
+            levels,
+            ladder,
+            demand: ResourceVector::new(10.0, 64.0, 1000.0, 10.0, 500.0),
+            reward,
+            task_reward,
+        }
+    })
+}
+
+fn cfp() -> impl Strategy<Value = CfpContext> {
+    (0u32..8, 0u32..4, 1usize..8, 0.0f64..200.0, 1.0f64..200.0).prop_map(
+        |(node, round, task_count, avail_cpu, cap_cpu)| CfpContext {
+            node,
+            round,
+            task_count,
+            available: ResourceVector::new(avail_cpu, 256.0, 5000.0, 40.0, 4000.0),
+            capacity: ResourceVector::new(cap_cpu, 256.0, 5000.0, 40.0, 4000.0),
+        },
+    )
+}
+
+proptest! {
+    /// The empty chain and a chain of pure-default components both
+    /// reproduce `select_winners` exactly, for every tie-break order.
+    #[test]
+    fn chained_select_matches_reference(cands in instance()) {
+        let empty = OrganizerStrategy::new();
+        let passthrough = OrganizerStrategy::new()
+            .with(PassthroughOrganizer)
+            .with(PassthroughOrganizer);
+        for tb in TieBreak::permutations() {
+            let reference = select_winners(&cands, &tb);
+            let sel = empty.select(&cands, &tb);
+            prop_assert_eq!(&sel.assignments, &reference.assignments);
+            prop_assert_eq!(&sel.unassigned, &reference.unassigned);
+            let sel = passthrough.select(&cands, &tb);
+            prop_assert_eq!(&sel.assignments, &reference.assignments);
+        }
+    }
+
+    /// The provider-side folds of the empty chain (and of identity
+    /// components) never gate, never mutate an offer, never veto.
+    #[test]
+    fn chained_provider_folds_are_identities(ctx in cfp(), base in offer()) {
+        for chain in [
+            ProviderStrategy::new(),
+            ProviderStrategy::new().with(PassthroughProvider),
+        ] {
+            prop_assert!(chain.participates(&ctx));
+            let mut reviewed = base.clone();
+            prop_assert!(chain.review_offer(&ctx, &mut reviewed));
+            prop_assert_eq!(&reviewed.levels, &base.levels);
+            prop_assert_eq!(reviewed.reward, base.reward);
+            prop_assert!(chain.accepts_award(&AwardContext { node: ctx.node, task: TaskId(0) }));
+        }
+    }
+
+    /// The retry fold of the empty chain is exactly the legacy round
+    /// budget `round + 1 < max_rounds`, for every context.
+    #[test]
+    fn chained_retry_matches_round_budget(round in 0u32..12, max_rounds in 0u32..12, open in 0usize..9) {
+        let ctx = RetryContext { round, max_rounds, open_tasks: open };
+        prop_assert_eq!(
+            OrganizerStrategy::new().retries(&ctx),
+            round + 1 < max_rounds
+        );
+        // Candidate review of the empty chain keeps every candidate
+        // untouched, whatever the context.
+        let mut c = Candidate { node: round % 4, distance: 0.5, comm_cost: 1.0 };
+        let before = c;
+        let keep = OrganizerStrategy::new().review_candidate(
+            &CandidateContext { organizer: 0, task: TaskId(0), round },
+            &mut c,
+        );
+        prop_assert!(keep);
+        prop_assert_eq!(c, before);
+    }
+
+    /// `ReservePrice` partitions offers exactly at the threshold and
+    /// never touches the offer contents.
+    #[test]
+    fn reserve_price_partitions_at_threshold(base in offer(), min_reward in 0.0f64..8.0, ctx in cfp()) {
+        let comp = ReservePrice { min_reward };
+        let mut reviewed = base.clone();
+        let verdict = comp.review_offer(&ctx, &mut reviewed);
+        prop_assert_eq!(
+            verdict == OfferResponse::Withhold,
+            base.task_reward < min_reward
+        );
+        prop_assert_eq!(&reviewed.levels, &base.levels);
+        prop_assert_eq!(reviewed.reward, base.reward);
+    }
+
+    /// `SelfishMarkup` degrades monotonically, stays inside every ladder
+    /// and scales the declared reward by exactly the markup.
+    #[test]
+    fn selfish_markup_stays_within_ladders(base in offer(), steps in 0usize..10, markup in 0.5f64..3.0, ctx in cfp()) {
+        let comp = SelfishMarkup { degrade_steps: steps, markup };
+        let mut reviewed = base.clone();
+        prop_assert_eq!(comp.review_offer(&ctx, &mut reviewed), OfferResponse::Offer);
+        for ((&after, &before), &len) in
+            reviewed.levels.iter().zip(base.levels.iter()).zip(base.ladder.iter())
+        {
+            prop_assert!(after >= before, "degradation never improves quality");
+            prop_assert!(after < len, "levels stay inside the ladder");
+        }
+        prop_assert!((reviewed.reward - base.reward * markup).abs() < 1e-9);
+    }
+
+    /// `ReputationScorer` penalises monotonically: a lower reputation
+    /// never yields a smaller distance penalty, and full trust is free.
+    #[test]
+    fn reputation_penalty_is_monotone(c in candidate(), rep_a in 0.0f64..1.0, rep_b in 0.0f64..1.0, weight in 0.0f64..2.0) {
+        let ctx = CandidateContext { organizer: 0, task: TaskId(0), round: 0 };
+        let penalty = |rep: f64| {
+            let comp = ReputationScorer {
+                reputations: BTreeMap::from([(c.node, rep)]),
+                default_reputation: 1.0,
+                weight,
+            };
+            let mut scored = c;
+            assert_eq!(comp.review_candidate(&ctx, &mut scored), CandidateResponse::Keep);
+            scored.distance - c.distance
+        };
+        let (lo, hi) = if rep_a <= rep_b { (rep_a, rep_b) } else { (rep_b, rep_a) };
+        prop_assert!(penalty(lo) >= penalty(hi) - 1e-12);
+        prop_assert!(penalty(1.0).abs() < 1e-12, "full trust adds nothing");
+    }
+
+    /// `PatienceLimit` always answers, never extends the engine's own
+    /// budget, and caps the rounds at its own limit.
+    #[test]
+    fn patience_limit_caps_the_budget(round in 0u32..12, max_rounds in 1u32..12, rounds in 0u32..12) {
+        let comp = PatienceLimit { rounds };
+        let ctx = RetryContext { round, max_rounds, open_tasks: 1 };
+        let verdict = comp.retry(&ctx).expect("patience always has an opinion");
+        prop_assert_eq!(verdict, round + 1 < rounds.min(max_rounds));
+        let chained = OrganizerStrategy::new().with(PatienceLimit { rounds }).retries(&ctx);
+        prop_assert_eq!(chained, verdict);
+        if chained {
+            prop_assert!(round + 1 < max_rounds, "never outlasts the engine budget");
+        }
+    }
+}

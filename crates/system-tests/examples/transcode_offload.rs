@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use qosc_baselines::{protocol_emulation, Instance, OfflineNode, OfflineTask};
-use qosc_core::{EvalConfig, TieBreak};
+use qosc_core::{EvalConfig, OrganizerStrategy, ProviderStrategy, TieBreak};
 use qosc_resources::{DeviceClass, ResourceKind, SchedulingPolicy};
 use qosc_spec::{catalog, TaskId};
 use qosc_workloads::transcode_demand_model;
@@ -34,6 +34,7 @@ fn node(id: u32, class: DeviceClass) -> OfflineNode {
         policy: SchedulingPolicy::Edf,
         models,
         reward: None,
+        chain: ProviderStrategy::default(),
     }
 }
 
@@ -58,6 +59,7 @@ fn main() {
                 bytes / 4,
             )],
             eval: EvalConfig::default(),
+            chain: OrganizerStrategy::default(),
         };
         let a = protocol_emulation(&inst, &TieBreak::default());
         match a.placements.get(&TaskId(0)) {

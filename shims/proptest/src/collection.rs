@@ -7,7 +7,7 @@ use std::ops::{Range, RangeInclusive};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::strategy::{NoShrink, Strategy, ValueTree};
+use crate::strategy::{Strategy, ValueTree};
 
 /// Size bounds for a generated collection (inclusive).
 #[derive(Debug, Clone, Copy)]
@@ -149,33 +149,147 @@ where
     S::Value: Eq + Hash,
 {
     type Value = HashSet<S::Value>;
-    type Tree = NoShrink<HashSet<S::Value>>;
+    type Tree = HashSetTree<S::Tree>;
 
     fn new_tree(&self, rng: &mut ChaCha8Rng) -> Self::Tree {
-        // Sets have no canonical simplification order here; they draw but
-        // do not shrink.
-        NoShrink(self.draw(rng))
-    }
-}
-
-impl<S> HashSetStrategy<S>
-where
-    S: Strategy,
-    S::Value: Eq + Hash,
-{
-    fn draw(&self, rng: &mut ChaCha8Rng) -> HashSet<S::Value> {
         let n = self.size.sample(rng);
-        let mut out = HashSet::with_capacity(n);
+        let mut elems: Vec<S::Tree> = Vec::with_capacity(n);
+        let mut seen: HashSet<S::Value> = HashSet::with_capacity(n);
         let mut attempts = 0usize;
-        while out.len() < n && attempts < n * 50 + 100 {
-            out.insert(self.element.generate(rng));
+        while seen.len() < n && attempts < n * 50 + 100 {
+            let tree = self.element.new_tree(rng);
+            if seen.insert(tree.current()) {
+                elems.push(tree);
+            }
             attempts += 1;
         }
         assert!(
-            out.len() >= self.size.min,
+            seen.len() >= self.size.min,
             "hash_set strategy could not reach minimum size {} (domain too small?)",
             self.size.min
         );
+        HashSetTree {
+            elems,
+            min: self.size.min,
+        }
+    }
+}
+
+/// Tree produced by [`hash_set`]: per-element subtrees (distinct at draw
+/// time) plus the minimum size the strategy may shrink down to. Mirrors
+/// [`VecTree`], with one extra wrinkle: element-wise shrinks can make
+/// two subtrees collide on the same value, so every candidate is checked
+/// against the minimum *after* deduplication.
+#[derive(Clone)]
+pub struct HashSetTree<T> {
+    elems: Vec<T>,
+    min: usize,
+}
+
+impl<T> ValueTree for HashSetTree<T>
+where
+    T: ValueTree,
+    T::Value: Eq + Hash,
+{
+    type Value = HashSet<T::Value>;
+
+    fn current(&self) -> Self::Value {
+        self.elems.iter().map(ValueTree::current).collect()
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // Size first (the aggressive cut to the minimum, then one
+        // element off the tail), then element-wise shrinks — capped at
+        // two candidates per slot to bound the branching factor.
+        if self.elems.len() > self.min {
+            out.push(Self {
+                elems: self.elems[..self.min].to_vec(),
+                min: self.min,
+            });
+            let mut one_less = self.elems.clone();
+            one_less.pop();
+            if one_less.len() > self.min {
+                out.push(Self {
+                    elems: one_less,
+                    min: self.min,
+                });
+            }
+        }
+        for (i, elem) in self.elems.iter().enumerate() {
+            for candidate in elem.shrink().into_iter().take(2) {
+                let mut next = self.clone();
+                next.elems[i] = candidate;
+                out.push(next);
+            }
+        }
+        out.retain(|t| t.current().len() >= t.min);
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::minimize;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hash_set_draws_distinct_elements_within_size() {
+        let strat = hash_set(0i64..1000, 3..=8);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..50 {
+            let set = strat.new_tree(&mut rng).current();
+            assert!((3..=8).contains(&set.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_minimizes_to_the_boundary_element() {
+        // Fails whenever the set contains an element >= 17: the shrinker
+        // must cut the set down and walk the offending element to 17.
+        let strat = hash_set(0i64..1000, 1..=8);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let tree = loop {
+            let t = strat.new_tree(&mut rng);
+            if t.current().iter().any(|&v| v >= 34) {
+                break t;
+            }
+        };
+        let (min, steps) = minimize(tree, |set| set.iter().any(|&v| v >= 17));
+        assert!(steps > 0, "the draw must shrink at least once");
+        // The offending element lands near the boundary (the two-candidate
+        // cap per slot can stop it a step short of exactly 17); everything
+        // else shrinks to the lower bound and dedups away.
+        assert!(
+            min.iter().filter(|&&v| (17..34).contains(&v)).count() == 1,
+            "one near-boundary element must survive: {min:?}"
+        );
+        assert!(
+            min.iter().all(|&v| v == 0 || (17..34).contains(&v)),
+            "non-failing elements must shrink to the lower bound: {min:?}"
+        );
+    }
+
+    #[test]
+    fn hash_set_shrink_never_dedups_below_min_size() {
+        // Element-wise shrinks can collide two slots onto one value; no
+        // candidate may present fewer distinct elements than the minimum.
+        let strat = hash_set(0i64..6, 3..=5);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..50 {
+            let tree = strat.new_tree(&mut rng);
+            let mut frontier = vec![tree];
+            for _ in 0..3 {
+                frontier = frontier.iter().flat_map(ValueTree::shrink).collect();
+                for t in &frontier {
+                    assert!(
+                        t.current().len() >= 3,
+                        "shrunk below min: {:?}",
+                        t.current()
+                    );
+                }
+            }
+        }
     }
 }

@@ -96,7 +96,7 @@ pub fn minimize<T: ValueTree>(
     (current.current(), steps)
 }
 
-/// A tree with no shrink candidates ([`Just`], `hash_set`).
+/// A tree with no shrink candidates ([`Just`]).
 #[derive(Debug, Clone)]
 pub struct NoShrink<T>(pub T);
 
