@@ -38,7 +38,9 @@ pub fn small_instance(cpus: &[f64], tasks: usize) -> Instance {
             OfflineTask::new(
                 TaskId(i as u32),
                 spec.clone(),
-                catalog::surveillance_request().resolve(&spec).unwrap(),
+                catalog::surveillance_request()
+                    .resolve(&spec)
+                    .expect("catalog request matches catalog spec"),
                 100_000,
                 10_000,
             )
@@ -63,7 +65,9 @@ pub fn conference_instance(cpus: &[f64], tasks: usize) -> Instance {
             OfflineTask::new(
                 TaskId(i as u32),
                 spec.clone(),
-                catalog::video_conference_request().resolve(&spec).unwrap(),
+                catalog::video_conference_request()
+                    .resolve(&spec)
+                    .expect("catalog request matches catalog spec"),
                 500_000,
                 50_000,
             )

@@ -282,7 +282,7 @@ pub fn protocol_emulation_with(
                 if !instance.chain.review_candidate(&cctx, &mut candidate) {
                     continue; // rejected
                 }
-                candidates.get_mut(&id).unwrap().push(candidate);
+                candidates.entry(id).or_default().push(candidate);
                 offers.insert((node.id, id), p);
             }
         }
@@ -358,7 +358,10 @@ pub fn exhaustive_optimal(instance: &Instance, max_states: u64) -> Option<Alloca
         let mut feasible = true;
         let mut alloc = Allocation::default();
         for (pid, tasks) in &by_node {
-            let node = instance.nodes.iter().find(|x| x.id == *pid).unwrap();
+            let Some(node) = instance.nodes.iter().find(|x| x.id == *pid) else {
+                feasible = false;
+                break;
+            };
             match formulate_on_node(instance, node, tasks) {
                 Some(placements) => {
                     for (id, p) in placements {

@@ -23,7 +23,9 @@ fn offers(n: usize) -> Vec<Vec<Value>> {
 
 fn bench_evaluation(c: &mut Criterion) {
     let spec = catalog::av_spec();
-    let request = catalog::surveillance_request().resolve(&spec).unwrap();
+    let request = catalog::surveillance_request()
+        .resolve(&spec)
+        .expect("catalog request matches catalog spec");
     let evaluator = Evaluator::default();
     let compiled = CompiledRequest::compile(&spec, &request, EvalConfig::default());
     let batch = offers(1000);

@@ -27,7 +27,9 @@ fn admission(cpu: f64) -> AdmissionControl {
 
 fn bench_formulation(c: &mut Criterion) {
     let spec = catalog::av_spec();
-    let request = catalog::video_conference_request().resolve(&spec).unwrap();
+    let request = catalog::video_conference_request()
+        .resolve(&spec)
+        .expect("catalog request matches catalog spec");
     let model = av_demand_model(&spec);
     let reward = LinearPenalty::default();
 
@@ -76,12 +78,14 @@ fn bench_formulation(c: &mut Criterion) {
     let preferred_cpu = {
         let qv = request
             .quality_vector(&spec, &vec![0; request.attr_count()])
-            .unwrap();
+            .expect("preferred levels are in-domain");
         model.demand(&spec, &qv).get(ResourceKind::Cpu)
     };
     let degraded_cpu = {
         let full: Vec<usize> = request.ladder_lengths().iter().map(|l| l - 1).collect();
-        let qv = request.quality_vector(&spec, &full).unwrap();
+        let qv = request
+            .quality_vector(&spec, &full)
+            .expect("floor levels are in-domain");
         model.demand(&spec, &qv).get(ResourceKind::Cpu)
     };
     let shared_model: Arc<dyn DemandModel> = Arc::new(av_demand_model(&spec));

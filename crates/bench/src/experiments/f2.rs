@@ -26,10 +26,13 @@ const NODES: usize = 6;
 fn task_cpu() -> f64 {
     let t = AppTemplate::Surveillance;
     let spec = t.spec();
-    let req = t.request().resolve(&spec).unwrap();
+    let req = t
+        .request()
+        .resolve(&spec)
+        .expect("template request matches its spec");
     let qv = req
         .quality_vector(&spec, &vec![0; req.attr_count()])
-        .unwrap();
+        .expect("preferred levels are in-domain");
     t.demand_model().demand(&spec, &qv).get(ResourceKind::Cpu)
 }
 

@@ -28,13 +28,16 @@ pub fn run() -> Table {
     );
     let t = AppTemplate::VideoConference;
     let spec = t.spec();
-    let req = t.request().resolve(&spec).unwrap();
+    let req = t
+        .request()
+        .resolve(&spec)
+        .expect("template request matches its spec");
     let model = t.demand_model();
     let evaluator = Evaluator::default();
     // Preferred-level CPU demand = the 100 % point.
     let qv = req
         .quality_vector(&spec, &vec![0; req.attr_count()])
-        .unwrap();
+        .expect("preferred levels are in-domain");
     let full_cpu = model.demand(&spec, &qv).get(ResourceKind::Cpu);
 
     for pct in [5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
@@ -57,7 +60,7 @@ pub fn run() -> Table {
                 Ok(out) => {
                     let d = evaluator
                         .distance_of_levels(&spec, &req, &out.levels[0])
-                        .unwrap();
+                        .expect("formulated levels are in-domain");
                     cells.push(f(out.reward));
                     cells.push(f(d));
                     cells.push(out.degradations.to_string());

@@ -23,10 +23,14 @@ fn rescore(inst: &Instance, alloc: &Allocation) -> f64 {
     let reference = Evaluator::default();
     let mut total = 0.0;
     for (task, p) in &alloc.placements {
-        let t = inst.tasks.iter().find(|t| t.id == *task).unwrap();
+        let t = inst
+            .tasks
+            .iter()
+            .find(|t| t.id == *task)
+            .expect("placement refers to an instance task");
         total += reference
             .distance_of_levels(&t.spec, &t.request, &p.levels)
-            .unwrap();
+            .expect("placed levels are in-domain");
     }
     total
 }

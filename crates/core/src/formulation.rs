@@ -762,6 +762,7 @@ pub fn formulate_reference(
 
 /// Cached compilation of one announced `(spec, request)` pair plus the
 /// inputs it was verified against.
+#[derive(Clone)]
 struct CacheEntry {
     source: ServiceRequest,
     prepared: Arc<PreparedTask>,
@@ -778,6 +779,19 @@ pub struct Formulator {
     reward: Arc<dyn RewardModel>,
     cache: HashMap<(String, String), CacheEntry>,
     heap: BinaryHeap<Step>,
+}
+
+impl Clone for Formulator {
+    /// Clones the engine for state-forking consumers (the model checker).
+    /// The scratch heap is transient between `formulate` calls, so the
+    /// clone starts with an empty one rather than copying dead entries.
+    fn clone(&self) -> Self {
+        Self {
+            reward: Arc::clone(&self.reward),
+            cache: self.cache.clone(),
+            heap: BinaryHeap::new(),
+        }
+    }
 }
 
 impl Formulator {

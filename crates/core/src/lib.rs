@@ -91,6 +91,7 @@ mod organizer;
 mod protocol;
 mod provider;
 pub mod runtime;
+pub mod snapshot;
 pub mod strategy;
 
 pub use compiled::CompiledRequest;
@@ -102,7 +103,7 @@ pub use formulation::{
     QuadraticPenalty, RewardModel, TaskInput,
 };
 pub use metrics::{NegoEvent, NegotiationMetrics, TaskOutcome};
-pub use organizer::{OrganizerConfig, OrganizerEngine};
+pub use organizer::{NegoPhase, OrganizerConfig, OrganizerEngine, TaskLifecycle};
 pub use protocol::{
     decode_timer, encode_timer, Action, Msg, NegoId, Pid, TaskAnnouncement, TaskProposal, TimerKind,
 };
@@ -111,4 +112,5 @@ pub use runtime::{
     dissolve_token, kickoff_token, single_organizer_scenario, ActorRuntime, ActorWire,
     CoalitionNode, DesRuntime, DirectRuntime, LoggedEvent, NodeEngine, Runtime, RuntimeError,
 };
+pub use snapshot::{digest_of, StableHasher, StateDigest};
 pub use strategy::{OrganizerComponent, OrganizerStrategy, ProviderComponent, ProviderStrategy};

@@ -84,6 +84,31 @@ impl Default for OrganizerConfig {
     }
 }
 
+impl OrganizerConfig {
+    /// The canonical tuning for exhaustive model checking (`qosc-mc`).
+    ///
+    /// The explorer is time-abstract — it visits every ordering of timer
+    /// firings and message deliveries no matter what the durations say —
+    /// so all waits are pinned to zero: nonzero durations only multiply
+    /// path-dependent clock values (armed deadlines, metric timestamps)
+    /// into the canonical state digest, exploding behaviourally identical
+    /// states apart. Monitoring is off because its heartbeat-check timer
+    /// re-arms forever, leaving no quiescent states to judge liveness on,
+    /// and the round budget is one: a single CFP round is the checkable
+    /// unit (every retry round multiplies the interleaving graph; raise
+    /// `max_rounds` deliberately if retry behaviour is what you are
+    /// checking).
+    pub fn for_model_checking() -> Self {
+        Self {
+            proposal_wait: SimDuration::ZERO,
+            award_wait: SimDuration::ZERO,
+            max_rounds: 1,
+            monitor: false,
+            ..Self::default()
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
     Collecting,
@@ -92,10 +117,60 @@ enum State {
     Dissolved,
 }
 
+/// Externally observable phase of one negotiation — a read-only mirror of
+/// the private state machine, exposed for model-checking invariants
+/// (liveness-under-quiescence asserts every negotiation settles in
+/// `Operating` or `Dissolved`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NegoPhase {
+    /// Proposals are being collected for the current round's CFP.
+    Collecting,
+    /// Awards are out, waiting for accepts/declines.
+    Awarding,
+    /// The coalition formed (possibly partially) and is executing.
+    Operating,
+    /// Dissolved, or formation failed entirely.
+    Dissolved,
+}
+
+impl From<State> for NegoPhase {
+    fn from(s: State) -> Self {
+        match s {
+            State::Collecting => NegoPhase::Collecting,
+            State::Awarding => NegoPhase::Awarding,
+            State::Operating => NegoPhase::Operating,
+            State::Dissolved => NegoPhase::Dissolved,
+        }
+    }
+}
+
+/// Snapshot of where every announced task of one negotiation currently
+/// lives in its lifecycle. The sets partition the announced tasks (modulo
+/// `open ∩ pending = ∅` etc.) — the model checker's task-conservation
+/// invariant asserts exactly that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskLifecycle {
+    /// Every task the service announced.
+    pub announced: BTreeSet<TaskId>,
+    /// Tasks still open for (re-)solicitation in the current round.
+    pub open: BTreeSet<TaskId>,
+    /// Tasks awarded and awaiting an accept, with the awarded node.
+    pub pending: BTreeMap<TaskId, Pid>,
+    /// Tasks accepted, with the executing node.
+    pub assigned: BTreeMap<TaskId, Pid>,
+    /// Tasks abandoned after the round budget ran out.
+    pub given_up: BTreeSet<TaskId>,
+}
+
+#[derive(Clone)]
 struct Nego {
     state: State,
     round: u32,
     announcements: BTreeMap<TaskId, TaskAnnouncement>,
+    /// Digest of `announcements`, computed once at creation: the map is
+    /// immutable for the negotiation's lifetime and hashing its full
+    /// content on every snapshot dominates the model checker's profile.
+    announcements_digest: u64,
     /// Per-task compiled evaluation tables (weights, normalizers,
     /// Quality-Index positions), built once when the service starts so
     /// every incoming proposal prices without re-walking the spec.
@@ -116,6 +191,7 @@ struct Nego {
 }
 
 /// The sans-IO Negotiation Organizer.
+#[derive(Clone)]
 pub struct OrganizerEngine {
     id: Pid,
     config: OrganizerConfig,
@@ -157,6 +233,29 @@ impl OrganizerEngine {
             .unwrap_or(false)
     }
 
+    /// Observable phase of a negotiation, if known.
+    pub fn phase(&self, nego: NegoId) -> Option<NegoPhase> {
+        self.negotiations.get(&nego).map(|n| n.state.into())
+    }
+
+    /// Every negotiation this organizer has started, sorted.
+    pub fn nego_ids(&self) -> Vec<NegoId> {
+        let mut v: Vec<NegoId> = self.negotiations.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Lifecycle partition of a negotiation's tasks, if known.
+    pub fn task_lifecycle(&self, nego: NegoId) -> Option<TaskLifecycle> {
+        self.negotiations.get(&nego).map(|n| TaskLifecycle {
+            announced: n.announcements.keys().copied().collect(),
+            open: n.open.clone(),
+            pending: n.pending.clone(),
+            assigned: n.assignments.clone(),
+            given_up: n.given_up.clone(),
+        })
+    }
+
     /// Starts the negotiation for `service` (step 1: broadcast the service
     /// description and the user's preferences). Fails fast if any task's
     /// request does not resolve against its spec.
@@ -190,10 +289,17 @@ impl OrganizerEngine {
         }
         self.next_seq += 1;
         let open: BTreeSet<TaskId> = announcements.keys().copied().collect();
+        let announcements_digest = {
+            let mut h = crate::snapshot::StableHasher::new();
+            // BTreeMap: deterministic order, so Debug form is canonical.
+            h.write_str(&format!("{announcements:?}"));
+            h.finish()
+        };
         let mut nego_state = Nego {
             state: State::Collecting,
             round: 0,
             announcements,
+            announcements_digest,
             compiled,
             open,
             candidates: BTreeMap::new(),
@@ -571,6 +677,64 @@ impl OrganizerEngine {
             .collect();
         actions.push(Action::Event(NegoEvent::Dissolved { nego }));
         actions
+    }
+}
+
+impl crate::snapshot::StateDigest for OrganizerEngine {
+    fn digest(&self, h: &mut crate::snapshot::StableHasher) {
+        h.write_u64(self.id as u64);
+        h.write_u64(self.next_seq as u64);
+        let mut ids: Vec<&NegoId> = self.negotiations.keys().collect();
+        ids.sort();
+        h.write_usize(ids.len());
+        for id in ids {
+            let n = &self.negotiations[id];
+            h.write_u64(id.organizer as u64);
+            h.write_u64(id.seq as u64);
+            h.write_u64(n.state as u64);
+            h.write_u64(n.round as u64);
+            // Announcements and compiled tables are a pure function of the
+            // submitted service + config, but two negotiations for
+            // different services must not collide: the announcement
+            // digest (cached at creation; the map is immutable) covers it.
+            h.write_u64(n.announcements_digest);
+            h.write_usize(n.candidates.len());
+            for (t, cs) in &n.candidates {
+                h.write_u64(t.0 as u64);
+                h.write_usize(cs.len());
+                // Vec order preserved: it is the §4.2 tie-break input.
+                for c in cs {
+                    h.write_u64(c.node as u64);
+                    h.write_f64(c.distance);
+                    h.write_f64(c.comm_cost);
+                }
+            }
+            for (t, p) in &n.pending {
+                h.write_u64(t.0 as u64);
+                h.write_u64(*p as u64);
+            }
+            h.write_usize(n.pending.len());
+            for (t, p) in &n.assignments {
+                h.write_u64(t.0 as u64);
+                h.write_u64(*p as u64);
+            }
+            h.write_usize(n.assignments.len());
+            let mut hb: Vec<(&TaskId, &SimTime)> = n.last_heartbeat.iter().collect();
+            hb.sort();
+            h.write_usize(hb.len());
+            for (t, at) in hb {
+                h.write_u64(t.0 as u64);
+                h.write_u64(at.0);
+            }
+            h.write_usize(n.given_up.len());
+            for t in &n.given_up {
+                h.write_u64(t.0 as u64);
+            }
+            // Metrics are deliberately excluded: they are write-only
+            // reporting counters (no protocol decision or invariant reads
+            // them), so hashing them would fork behaviourally identical
+            // states — under fault exploration, explosively so.
+        }
     }
 }
 

@@ -53,6 +53,11 @@ pub struct ProviderConfig {
     pub heartbeat_interval: SimDuration,
     /// Whether this node volunteers at all (a battery policy may say no).
     pub participate: bool,
+    /// Whether to arm operation-phase heartbeats on award. Disabled by
+    /// model-checking scenarios: the periodic self-re-arming timer makes
+    /// the reachable state space infinite, and liveness there is judged at
+    /// negotiation quiescence instead.
+    pub heartbeats: bool,
     /// Reward model for the §5 heuristic.
     pub reward: Arc<dyn RewardModel>,
     /// Multi-task pricing strategy.
@@ -70,9 +75,26 @@ impl Default for ProviderConfig {
             hold_ttl: SimDuration::millis(400),
             heartbeat_interval: SimDuration::millis(500),
             participate: true,
+            heartbeats: true,
             reward: Arc::new(LinearPenalty::default()),
             strategy: ProposalStrategy::Joint,
             chain: ProviderStrategy::default(),
+        }
+    }
+}
+
+impl ProviderConfig {
+    /// The canonical tuning for exhaustive model checking (`qosc-mc`):
+    /// zero hold TTL and no heartbeats. The explorer is time-abstract
+    /// (every expiry-vs-award ordering is explored regardless of the
+    /// TTL), so a zero TTL only keeps path-dependent expiry timestamps
+    /// out of the canonical state digest; heartbeats re-arm their timer
+    /// forever, which would leave the explorer no quiescent states.
+    pub fn for_model_checking() -> Self {
+        Self {
+            hold_ttl: SimDuration::ZERO,
+            heartbeats: false,
+            ..Self::default()
         }
     }
 }
@@ -88,6 +110,7 @@ impl std::fmt::Debug for ProviderConfig {
             .field("hold_ttl", &self.hold_ttl)
             .field("heartbeat_interval", &self.heartbeat_interval)
             .field("participate", &self.participate)
+            .field("heartbeats", &self.heartbeats)
             .field("reward", &self.reward.name())
             .field("strategy", &self.strategy)
             .field("chain", &self.chain)
@@ -96,6 +119,7 @@ impl std::fmt::Debug for ProviderConfig {
 }
 
 /// The sans-IO QoS Provider.
+#[derive(Clone)]
 pub struct ProviderEngine {
     id: Pid,
     config: ProviderConfig,
@@ -163,6 +187,27 @@ impl ProviderEngine {
         let mut v: Vec<(NegoId, TaskId)> = self.committed.keys().copied().collect();
         v.sort();
         v
+    }
+
+    /// Tasks this node has in-flight tentative holds for (proposed but not
+    /// yet awarded/declined), sorted.
+    pub fn holding(&self) -> Vec<(NegoId, TaskId)> {
+        let mut v: Vec<(NegoId, TaskId)> = self.holds.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Simulates a crash-restart of the provider process: volatile
+    /// negotiation state (tentative holds, armed heartbeat timers) is
+    /// lost, while committed grants — durable by the two-phase reservation
+    /// contract — survive. The caller (fault injector) is responsible for
+    /// discarding this node's pending timers; the engine itself keeps
+    /// executing whatever it already accepted.
+    pub fn crash_restart(&mut self) {
+        for (_, hold) in self.holds.drain() {
+            self.ledger.release(hold);
+        }
+        self.heartbeat_armed.clear();
     }
 
     /// Handles an inbound protocol message addressed to this provider.
@@ -437,7 +482,7 @@ impl ProviderEngine {
                 from: self.id,
             },
         )];
-        if !self.heartbeat_armed.get(&nego).copied().unwrap_or(false) {
+        if self.config.heartbeats && !self.heartbeat_armed.get(&nego).copied().unwrap_or(false) {
             self.heartbeat_armed.insert(nego, true);
             actions.push(Action::Timer {
                 delay: self.config.heartbeat_interval,
@@ -507,6 +552,71 @@ impl ProviderEngine {
     }
 }
 
+impl crate::snapshot::StateDigest for ProviderEngine {
+    fn digest(&self, h: &mut crate::snapshot::StableHasher) {
+        // Hold ids are opaque monotonic handles: hash each hold by its
+        // allocation *rank* among the manager's live holds, so states
+        // that differ only by historical id churn merge (see the
+        // `NodeLedger` digest).
+        let rank_of = |kind: qosc_resources::ResourceKind, id: qosc_resources::HoldId| {
+            self.ledger
+                .manager(kind)
+                .holds_snapshot()
+                .iter()
+                .position(|(hid, ..)| *hid == id.0)
+                .map_or(0, |r| r as u64 + 1)
+        };
+        let write_hold = |h: &mut crate::snapshot::StableHasher, hold: &VectorHold| {
+            for kind in qosc_resources::ResourceKind::ALL {
+                // rank + 1 so `None` (0) is distinct from the first hold.
+                h.write_u64(hold.get(kind).map_or(0, |id| rank_of(kind, id)));
+            }
+        };
+        let write_keyed_holds =
+            |h: &mut crate::snapshot::StableHasher, map: &HashMap<(NegoId, TaskId), VectorHold>| {
+                let mut keys: Vec<&(NegoId, TaskId)> = map.keys().collect();
+                keys.sort();
+                h.write_usize(keys.len());
+                for k in keys {
+                    h.write_u64(k.0.organizer as u64);
+                    h.write_u64(k.0.seq as u64);
+                    h.write_u64(k.1 .0 as u64);
+                    write_hold(h, &map[k]);
+                }
+            };
+        h.write_u64(self.id as u64);
+        self.ledger.digest(h);
+        write_keyed_holds(h, &self.holds);
+        write_keyed_holds(h, &self.committed);
+        let mut negos: Vec<&NegoId> = self.active.keys().collect();
+        negos.sort();
+        h.write_usize(negos.len());
+        for n in negos {
+            h.write_u64(n.organizer as u64);
+            h.write_u64(n.seq as u64);
+            // Task arrival order within a negotiation only affects
+            // heartbeat emission order, not protocol decisions: canonical
+            // sorted order lets permuted-but-equivalent states merge.
+            let mut tasks = self.active[n].clone();
+            tasks.sort();
+            h.write_usize(tasks.len());
+            for t in tasks {
+                h.write_u64(t.0 as u64);
+            }
+        }
+        let mut armed: Vec<(&NegoId, &bool)> = self.heartbeat_armed.iter().collect();
+        armed.sort();
+        h.write_usize(armed.len());
+        for (n, a) in armed {
+            h.write_u64(n.organizer as u64);
+            h.write_u64(n.seq as u64);
+            h.write_bool(*a);
+        }
+        // Config and demand models are immutable after setup and the
+        // formulator cache is behaviour-neutral: all excluded by design.
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,6 +632,7 @@ mod tests {
             "hold_ttl",
             "heartbeat_interval",
             "participate",
+            "heartbeats",
             "reward",
             "strategy",
             "chain",

@@ -105,7 +105,10 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use qosc_actors::{Actor, ActorCtx, ActorSystem, Addr, Directory};
-use qosc_netsim::{Ctx, NetApp, NetStats, NodeId, SimDuration, SimTime, Simulator};
+use qosc_netsim::{
+    Ctx, DeliveryFault, FaultPlan, FaultSampler, NetApp, NetStats, NodeId, SimDuration, SimTime,
+    Simulator,
+};
 use qosc_spec::ServiceDef;
 
 use crate::metrics::NegoEvent;
@@ -178,6 +181,7 @@ impl NodeEngine for ProviderEngine {
 /// the local provider is handed it synchronously and its response actions
 /// are spliced in; the proposal then travels the normal (zero-distance)
 /// self-unicast path so message accounting stays honest on every backend.
+#[derive(Clone)]
 pub struct CoalitionNode {
     id: Pid,
     organizer: Option<OrganizerEngine>,
@@ -225,6 +229,21 @@ impl CoalitionNode {
     /// The provider engine, if installed.
     pub fn provider(&self) -> Option<&ProviderEngine> {
         self.provider.as_ref()
+    }
+
+    /// Mutable organizer access (fault injectors, model checking).
+    pub fn organizer_mut(&mut self) -> Option<&mut OrganizerEngine> {
+        self.organizer.as_mut()
+    }
+
+    /// Mutable provider access (fault injectors, model checking).
+    pub fn provider_mut(&mut self) -> Option<&mut ProviderEngine> {
+        self.provider.as_mut()
+    }
+
+    /// Services still queued for kickoff, in kickoff order.
+    pub fn pending_services(&self) -> &[(SimTime, ServiceDef)] {
+        &self.pending
     }
 
     /// Queues a service to be started by the kickoff timer armed for
@@ -329,6 +348,25 @@ impl NodeEngine for CoalitionNode {
     }
 }
 
+impl crate::snapshot::StateDigest for CoalitionNode {
+    fn digest(&self, h: &mut crate::snapshot::StableHasher) {
+        h.write_u64(self.id as u64);
+        h.write_bool(self.organizer.is_some());
+        if let Some(o) = &self.organizer {
+            o.digest(h);
+        }
+        h.write_bool(self.provider.is_some());
+        if let Some(p) = &self.provider {
+            p.digest(h);
+        }
+        h.write_usize(self.pending.len());
+        for (at, service) in &self.pending {
+            h.write_u64(at.0);
+            h.write_str(&format!("{service:?}"));
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The Runtime trait and its shared vocabulary.
 // ---------------------------------------------------------------------------
@@ -417,6 +455,15 @@ pub trait Runtime {
             self.run(deadline);
         }
         settled_count(self.events())
+    }
+
+    /// Installs a message-fault plan for this run, sampled per delivery
+    /// (drop / duplicate / reorder; see [`FaultPlan`]). Returns `false` if
+    /// the backend does not support fault injection (the default). Call
+    /// before the first `run`; a plan that samples nothing leaves the
+    /// backend bit-identical to an uninstalled one.
+    fn set_fault_plan(&mut self, _plan: FaultPlan) -> bool {
+        false
     }
 
     /// Everything the engines reported so far, in emission order.
@@ -631,6 +678,11 @@ impl Runtime for DesRuntime {
         self.sim.run_until(&mut self.host, deadline)
     }
 
+    fn set_fault_plan(&mut self, plan: FaultPlan) -> bool {
+        self.sim.set_fault_plan(plan);
+        true
+    }
+
     fn events(&self) -> &[LoggedEvent] {
         &self.host.events
     }
@@ -744,6 +796,9 @@ pub struct DirectRuntime {
     /// Reused broadcast fan-out buffer (the same per-delivery allocation
     /// `Simulator` avoids with its scratch vec).
     bcast_scratch: Vec<Pid>,
+    /// Installed when a [`FaultPlan`] with sampling content is set;
+    /// `None` keeps the no-fault path allocation- and RNG-free.
+    fault: Option<FaultSampler>,
 }
 
 impl DirectRuntime {
@@ -763,6 +818,28 @@ impl DirectRuntime {
         self.heap.push(DirectEvent { at, seq, kind });
     }
 
+    /// When (and how often) one logical delivery lands, after consulting
+    /// the fault sampler: `[None, None]` = dropped, one slot = normal,
+    /// two slots = duplicated; reorder jitter pushes a copy later in time.
+    /// Mirrors the DES simulator's fault hook so the two sampled backends
+    /// inject the same fault vocabulary.
+    fn fault_delivery_times(&mut self, base_at: SimTime) -> [Option<SimTime>; 2] {
+        let Some(f) = self.fault.as_mut() else {
+            return [Some(base_at), None];
+        };
+        let mut times = match f.on_delivery() {
+            DeliveryFault::Drop => [None, None],
+            DeliveryFault::None => [Some(base_at), None],
+            DeliveryFault::Duplicate => [Some(base_at), Some(base_at)],
+        };
+        for slot in times.iter_mut().flatten() {
+            if let Some(jitter) = f.reorder() {
+                *slot += jitter;
+            }
+        }
+        times
+    }
+
     fn apply(&mut self, at: Pid, actions: Vec<Action>) {
         let now = self.now;
         for action in actions {
@@ -775,21 +852,32 @@ impl DirectRuntime {
                     targets.clear();
                     targets.extend(self.nodes.keys().copied().filter(|p| *p != at));
                     for &to in &targets {
-                        self.push(
-                            now,
-                            DirectKind::Deliver {
-                                from: at,
-                                to,
-                                msg: Arc::clone(&msg),
-                            },
-                        );
+                        for when in self.fault_delivery_times(now).into_iter().flatten() {
+                            self.push(
+                                when,
+                                DirectKind::Deliver {
+                                    from: at,
+                                    to,
+                                    msg: Arc::clone(&msg),
+                                },
+                            );
+                        }
                     }
                     self.bcast_scratch = targets;
                 }
                 Action::Send { to, msg } => {
                     self.unicasts += 1;
                     if self.nodes.contains_key(&to) {
-                        self.push(now, DirectKind::Deliver { from: at, to, msg });
+                        for when in self.fault_delivery_times(now).into_iter().flatten() {
+                            self.push(
+                                when,
+                                DirectKind::Deliver {
+                                    from: at,
+                                    to,
+                                    msg: Arc::clone(&msg),
+                                },
+                            );
+                        }
                     }
                 }
                 Action::Timer { delay, token } => {
@@ -909,6 +997,11 @@ impl Runtime for DirectRuntime {
 
     fn events(&self) -> &[LoggedEvent] {
         &self.events
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) -> bool {
+        self.fault = plan.samples_anything().then(|| FaultSampler::new(plan));
+        true
     }
 
     fn messages_sent(&self) -> u64 {

@@ -125,8 +125,13 @@ fn random_proposal(spec: &QosSpec, request: &ResolvedRequest, rng: &mut ChaCha8R
             if rng.gen_bool(0.7) {
                 pref.levels[rng.gen_range(0..pref.levels.len())].clone()
             } else {
-                let domain = &spec.attribute_at(pref.path).unwrap().domain;
-                random_values(domain, 1, rng).pop().unwrap()
+                let domain = &spec
+                    .attribute_at(pref.path)
+                    .expect("request paths resolve against their spec")
+                    .domain;
+                random_values(domain, 1, rng)
+                    .pop()
+                    .expect("one value requested")
             }
         })
         .collect()

@@ -1,0 +1,153 @@
+//! # qosc-mc — exhaustive-interleaving model checking for the protocol
+//!
+//! Every other backend executes *one* schedule of the negotiation
+//! protocol. This crate executes **all of them**: a
+//! [`ModelCheckedRuntime`] implements the normal
+//! [`Runtime`](qosc_core::Runtime) surface, but its `run` DFS-explores
+//! every interleaving of deliverable events — pending messages × per-node
+//! timers — plus every way of spending a [`FaultPlan`](qosc_netsim::FaultPlan) budget (message
+//! drop, message duplication, provider crash-restart), deduplicating
+//! states by canonical digest and checking the configured
+//! [`Invariant`]s at every distinct state.
+//!
+//! Shipped properties ([`default_invariants`]):
+//!
+//! * [`capacity_conservation`] — no provider's holds overbook its
+//!   resources, across concurrent CFPs;
+//! * [`no_orphaned_winner`] — every assignment an organizer records is
+//!   backed by a committed grant at the winning provider;
+//! * [`task_conservation`] — announced tasks partition exactly into
+//!   open / awarded / assigned / given-up, in every reachable state;
+//! * [`liveness_at_quiescence`] — when no message or timer remains,
+//!   every negotiation has settled (Operating or Dissolved).
+//!
+//! Message *reorder* needs no fault budget here: the explorer already
+//! visits every delivery order. Clocks are per-node and advance only
+//! when a timer fires, so "the proposal deadline beat the proposals"
+//! is just another explored branch, not a tuned timeout.
+//!
+//! ## Worked example: 2 organizers × 2 providers, drop + duplicate
+//!
+//! The scenario code is exactly what [`DesRuntime`](qosc_core::DesRuntime)
+//! or [`DirectRuntime`](qosc_core::DirectRuntime) would take, with one
+//! convention: use the `for_model_checking` configurations. They pin
+//! every duration to zero — the explorer is time-abstract and visits
+//! every timer-vs-delivery ordering regardless, so nonzero durations
+//! only smear path-dependent timestamps into the state digest — and
+//! disable heartbeats/monitoring, whose timers re-arm forever and would
+//! leave no quiescent states to prove liveness on.
+//!
+//! This is the paper's ad-hoc-grid setting: two peer nodes, each
+//! hosting *both* an organizer and a provider, each submitting one
+//! single-task service — two concurrent single-round CFPs contending
+//! for the same two providers. With a one-drop + one-duplicate fault
+//! budget the graph is ~6 M transitions / ~1.2 M distinct states; an
+//! optimised build exhausts it in about half a minute (the `MC_SMOKE`
+//! CI step runs exactly this check in release), so the snippet below is
+//! compiled but not executed as a doctest:
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use qosc_core::{
+//!     CoalitionNode, OrganizerConfig, OrganizerEngine, ProviderConfig, ProviderEngine, Runtime,
+//! };
+//! use qosc_mc::ModelCheckedRuntime;
+//! use qosc_netsim::{FaultPlan, SimTime};
+//! use qosc_resources::{av_demand_model, ResourceVector};
+//! use qosc_spec::{catalog, ServiceDef, TaskDef};
+//!
+//! let spec = catalog::av_spec();
+//! let mut rt = ModelCheckedRuntime::new();
+//! // Two dual-role peers: each node is organizer *and* provider.
+//! for (id, cpu) in [(0u32, 400.0), (1u32, 300.0)] {
+//!     let org = OrganizerEngine::new(id, OrganizerConfig::for_model_checking());
+//!     let mut p = ProviderEngine::new(
+//!         id,
+//!         ResourceVector::new(cpu, 512.0, 10_000.0, 60.0, 10_000.0),
+//!         ProviderConfig::for_model_checking(),
+//!     );
+//!     p.register_demand_model(spec.name(), Arc::new(av_demand_model(&spec)));
+//!     rt.add_node(CoalitionNode::new(id).with_organizer(org).with_provider(p))
+//!         .unwrap();
+//! }
+//! // Each organizer runs one single-task CFP round, concurrently.
+//! for id in 0..2u32 {
+//!     let service = ServiceDef::new(
+//!         format!("svc-{id}"),
+//!         vec![TaskDef {
+//!             name: "sense".into(),
+//!             spec: spec.clone(),
+//!             request: catalog::surveillance_request(),
+//!             input_bytes: 50_000,
+//!             output_bytes: 5_000,
+//!         }],
+//!     );
+//!     rt.submit(id, service, SimTime::ZERO).unwrap();
+//! }
+//! // Branch over one drop and one duplicate anywhere in the round.
+//! rt.set_fault_plan(FaultPlan::exhaustive(1, 1));
+//!
+//! let report = rt.check().clone();
+//! assert!(report.verified(), "{:?}", report.counterexample);
+//! assert!(report.quiescent_states > 0, "liveness was never exercised");
+//! ```
+//!
+//! Dropping the `set_fault_plan` line shrinks the same scenario to
+//! ~100 k transitions — small enough that the ordinary test suite
+//! exhausts it on every run, in debug, alongside a fully faulted
+//! 1-organizer × 2-provider round.
+//!
+//! ## Reading a counterexample
+//!
+//! When an invariant fails, [`CheckReport::counterexample`] carries the
+//! exact schedule. [`Counterexample::render`] prints it as a numbered
+//! event log, e.g. (from the mutation self-test, where a test-local
+//! [`ActionTap`] rewrites a provider's `Decline` into an `Accept`):
+//!
+//! ```text
+//! invariant `no-orphaned-winner` violated: organizer 0: nego(0/0) task
+//! TaskId(0) assigned to node 1 without a backing committed grant (after
+//! 7 step(s), 26 state(s) explored)
+//! schedule:
+//!     1. timer     n0    Kickoff nego(0/0) @0µs
+//!     2. deliver   0→1  CallForProposals nego(0/0) round 0 (1 task(s))
+//!     3. deliver   1→0  Proposal nego(0/0) from 1 (1 offer(s))
+//!     4. timer     n0    ProposalDeadline nego(0/0) @0µs
+//!     5. timer     n1    HoldExpiry nego(0/0) @0µs
+//!     6. deliver   0→1  Award nego(0/0) TaskId(0)
+//!     7. deliver   1→0  Accept nego(0/0) TaskId(0) from 1
+//! replay: ModelCheckedRuntime::replay(&counterexample.schedule)
+//! ```
+//!
+//! Step 5 is the race: the provider's hold expired before the award
+//! arrived, so its commit fails and it declines — which the planted bug
+//! rewrites into an accept the organizer then trusts.
+//! [`ModelCheckedRuntime::replay`] re-executes the schedule and must
+//! reproduce the same violation.
+//!
+//! ## One fault vocabulary, two consumers
+//!
+//! The same [`FaultPlan`](qosc_netsim::FaultPlan) drives the sampled backends: `set_fault_plan`
+//! on [`DesRuntime`](qosc_core::DesRuntime) or
+//! [`DirectRuntime`](qosc_core::DirectRuntime) draws drop / duplicate /
+//! reorder faults probabilistically (deterministic per seed), and
+//! [`verify_runtime`] evaluates the very same invariant closures at
+//! settle time. A property proved exhaustively on a small instance and
+//! spot-checked on a seeded 200-node run is exercised by the *same*
+//! adversity, differing only in exhaustiveness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod invariants;
+mod runtime;
+mod state;
+pub mod trace;
+
+pub use invariants::{
+    capacity_conservation, check_all, default_invariants, liveness_at_quiescence,
+    no_orphaned_winner, task_conservation, verify_runtime, Invariant, SystemView, Violation,
+};
+pub use runtime::{CheckConfig, CheckReport, ModelCheckedRuntime, Replay};
+pub use state::ActionTap;
+pub use trace::{summarize, Counterexample, TraceStep};

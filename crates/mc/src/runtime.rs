@@ -1,0 +1,451 @@
+//! The exhaustive explorer behind the [`Runtime`] surface.
+//!
+//! [`ModelCheckedRuntime`] accepts the exact scenario-description calls
+//! every other backend accepts — `add_node`, `submit`,
+//! `schedule_dissolve` — but `run` does not execute *one* schedule: it
+//! DFS-explores **every** interleaving of deliverable events (pending
+//! messages × per-node timers), plus every way of spending the
+//! [`FaultPlan`] budgets, checking the configured [`Invariant`]s at each
+//! distinct state. The first violation stops the search and yields a
+//! [`Counterexample`] whose schedule [`ModelCheckedRuntime::replay`]
+//! re-executes deterministically.
+
+use std::collections::{BTreeMap, HashSet};
+
+use qosc_core::runtime::NodeEngine;
+use qosc_core::snapshot::digest_of;
+use qosc_core::{
+    dissolve_token, kickoff_token, CoalitionNode, LoggedEvent, NegoId, Pid, Runtime, RuntimeError,
+};
+use qosc_netsim::{FaultPlan, SimTime};
+use qosc_spec::ServiceDef;
+
+use crate::invariants::{check_all, default_invariants, Invariant, SystemView, Violation};
+use crate::state::{ActionTap, Choice, McState, StepLog};
+use crate::trace::{Counterexample, TraceStep};
+
+/// Exploration budgets and the properties to prove.
+#[derive(Clone)]
+pub struct CheckConfig {
+    /// Fault branches the explorer may take (budgets only; the plan's
+    /// sampling probabilities are ignored here).
+    pub fault_plan: FaultPlan,
+    /// Stop after this many transitions, reporting budget exhaustion.
+    pub max_states: u64,
+    /// Do not extend any schedule beyond this many steps.
+    pub max_depth: usize,
+    /// Properties checked at every distinct state
+    /// ([`default_invariants`] unless replaced).
+    pub invariants: Vec<Invariant>,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self {
+            fault_plan: FaultPlan::none(),
+            max_states: 2_000_000,
+            max_depth: 10_000,
+            invariants: default_invariants(),
+        }
+    }
+}
+
+impl std::fmt::Debug for CheckConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckConfig")
+            .field("fault_plan", &self.fault_plan)
+            .field("max_states", &self.max_states)
+            .field("max_depth", &self.max_depth)
+            .field("invariants", &self.invariants.len())
+            .finish()
+    }
+}
+
+/// What an exhaustive check established.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Transitions applied (counting revisits of deduplicated states).
+    pub states_explored: u64,
+    /// Distinct states by canonical digest (including the initial one).
+    pub distinct_states: u64,
+    /// Length of the longest schedule explored.
+    pub max_depth_reached: usize,
+    /// Distinct states with no deliverable event left.
+    pub quiescent_states: u64,
+    /// The first invariant violation found, with its schedule.
+    pub counterexample: Option<Counterexample>,
+    /// True if `max_states` or `max_depth` cut the exploration short —
+    /// absence of a counterexample is then *not* a proof.
+    pub budget_exhausted: bool,
+}
+
+impl CheckReport {
+    /// `true` when the full graph was explored and no invariant failed.
+    pub fn verified(&self) -> bool {
+        self.counterexample.is_none() && !self.budget_exhausted
+    }
+}
+
+/// One deterministic re-execution of a schedule (see
+/// [`ModelCheckedRuntime::replay`]).
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// Everything the engines reported along the schedule.
+    pub events: Vec<LoggedEvent>,
+    /// The first invariant violation encountered, if any.
+    pub violation: Option<Violation>,
+}
+
+/// End-of-path snapshot backing the read side of the [`Runtime`] API.
+struct Reference {
+    nodes: BTreeMap<Pid, std::sync::Arc<CoalitionNode>>,
+    events: Vec<LoggedEvent>,
+    sent: u64,
+}
+
+/// DFS frame: a state, the step that produced it, the cursor over its
+/// enabled choices, and how much of the shared path log this state's
+/// history occupies (truncated back on backtrack).
+struct Frame {
+    state: McState,
+    step: Option<TraceStep>,
+    choices: Vec<Choice>,
+    next: usize,
+    events_mark: usize,
+    sent_mark: u64,
+}
+
+/// A [`Runtime`] whose `run` exhaustively model-checks the scenario
+/// instead of executing one schedule of it.
+///
+/// Scenario setup is byte-for-byte the code used with the other
+/// backends. `run(deadline)` ignores the deadline — exploration is
+/// bounded by [`CheckConfig::max_states`]/[`CheckConfig::max_depth`],
+/// not by virtual time — and returns the number of transitions applied.
+/// After the run, [`Runtime::events`], [`Runtime::messages_sent`] and
+/// [`Runtime::node`] describe the *first quiescent schedule* the search
+/// completed, so existing assertion helpers keep working; the full
+/// verdict lives in the [`CheckReport`] from
+/// [`ModelCheckedRuntime::check`].
+pub struct ModelCheckedRuntime {
+    initial: McState,
+    config: CheckConfig,
+    tap: Option<ActionTap>,
+    report: Option<CheckReport>,
+    reference: Option<Reference>,
+}
+
+impl ModelCheckedRuntime {
+    /// An empty runtime with [`CheckConfig::default`] (no faults, the
+    /// shipped invariants).
+    pub fn new() -> Self {
+        Self::with_config(CheckConfig::default())
+    }
+
+    /// An empty runtime with explicit budgets/faults/invariants.
+    pub fn with_config(config: CheckConfig) -> Self {
+        Self {
+            initial: McState::new(),
+            config,
+            tap: None,
+            report: None,
+            reference: None,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CheckConfig {
+        &self.config
+    }
+
+    /// Replaces the invariant set (invalidates any previous check).
+    pub fn set_invariants(&mut self, invariants: Vec<Invariant>) {
+        self.config.invariants = invariants;
+        self.invalidate();
+    }
+
+    /// Installs a hook over every action batch the engines emit. Used by
+    /// mutation self-tests to plant protocol bugs the checker must catch;
+    /// a tap that mutates nothing leaves exploration unchanged.
+    pub fn set_action_tap(&mut self, tap: ActionTap) {
+        self.tap = Some(tap);
+        self.invalidate();
+    }
+
+    /// The report of the last completed check, if one ran.
+    pub fn report(&self) -> Option<&CheckReport> {
+        self.report.as_ref()
+    }
+
+    fn invalidate(&mut self) {
+        self.report = None;
+        self.reference = None;
+    }
+
+    /// The root of the interleaving graph: the registered nodes after
+    /// their `on_start` hooks, with kickoff/dissolve timers armed.
+    fn root_state(&self, log: &mut StepLog) -> McState {
+        let mut state = self.initial.clone();
+        for pid in state.node_ids() {
+            let actions = state
+                .with_node_mut(pid, |n| n.on_start(SimTime::ZERO))
+                .unwrap_or_default();
+            state.apply_actions(pid, SimTime::ZERO, actions, self.tap.as_ref(), log);
+        }
+        state
+    }
+
+    fn check_state(
+        state: &McState,
+        quiescent: bool,
+        invariants: &[Invariant],
+    ) -> Result<(), Violation> {
+        check_all(&SystemView::new(state.nodes(), quiescent), invariants)
+    }
+
+    /// Runs (or returns the cached result of) the exhaustive check.
+    /// Idempotent until the scenario, faults, invariants or tap change.
+    pub fn check(&mut self) -> &CheckReport {
+        if self.report.is_none() {
+            let (report, reference) = self.explore();
+            self.report = Some(report);
+            self.reference = reference;
+        }
+        self.report.as_ref().expect("just computed")
+    }
+
+    fn explore(&self) -> (CheckReport, Option<Reference>) {
+        let plan = self.config.fault_plan;
+        let mut report = CheckReport::default();
+        let mut reference: Option<Reference> = None;
+        let mut seen: HashSet<u64> = HashSet::new();
+
+        // Engine events and the transport counter are path-local history,
+        // not state: one shared log grows on apply and is truncated on
+        // backtrack, instead of being cloned into every stored state.
+        let mut log = StepLog::default();
+        let root = self.root_state(&mut log);
+        seen.insert(root.digest());
+        report.distinct_states = 1;
+        let quiescent = root.quiescent();
+        if let Err(violation) = Self::check_state(&root, quiescent, &self.config.invariants) {
+            report.counterexample = Some(Counterexample {
+                violation,
+                schedule: Vec::new(),
+                states_explored: 0,
+            });
+            return (report, None);
+        }
+        if quiescent {
+            report.quiescent_states = 1;
+            reference = Some(Reference {
+                nodes: root.share_nodes(),
+                events: log.events.clone(),
+                sent: log.sent,
+            });
+        }
+        let mut stack = vec![Frame {
+            choices: root.enabled(&plan),
+            state: root,
+            step: None,
+            next: 0,
+            events_mark: 0,
+            sent_mark: 0,
+        }];
+
+        'dfs: while let Some(frame) = stack.last_mut() {
+            if frame.next >= frame.choices.len() {
+                log.events.truncate(frame.events_mark);
+                log.sent = frame.sent_mark;
+                stack.pop();
+                continue;
+            }
+            if report.states_explored >= self.config.max_states {
+                report.budget_exhausted = true;
+                break;
+            }
+            let choice = frame.choices[frame.next];
+            frame.next += 1;
+            let events_mark = log.events.len();
+            let sent_mark = log.sent;
+            let mut state = frame.state.clone();
+            let step = state.apply(choice, self.tap.as_ref(), &mut log);
+            report.states_explored += 1;
+            if !seen.insert(state.digest()) {
+                log.events.truncate(events_mark);
+                log.sent = sent_mark;
+                continue; // converged with an already-explored state
+            }
+            report.distinct_states += 1;
+            let quiescent = state.quiescent();
+            if let Err(violation) = Self::check_state(&state, quiescent, &self.config.invariants) {
+                let mut schedule: Vec<TraceStep> =
+                    stack.iter().filter_map(|f| f.step.clone()).collect();
+                schedule.push(step);
+                report.counterexample = Some(Counterexample {
+                    violation,
+                    schedule,
+                    states_explored: report.states_explored,
+                });
+                break 'dfs;
+            }
+            if quiescent {
+                report.quiescent_states += 1;
+                if reference.is_none() {
+                    reference = Some(Reference {
+                        nodes: state.share_nodes(),
+                        events: log.events.clone(),
+                        sent: log.sent,
+                    });
+                }
+            }
+            if stack.len() >= self.config.max_depth {
+                // This schedule is cut short; siblings still explore.
+                report.budget_exhausted = true;
+                log.events.truncate(events_mark);
+                log.sent = sent_mark;
+                continue;
+            }
+            report.max_depth_reached = report.max_depth_reached.max(stack.len());
+            stack.push(Frame {
+                choices: state.enabled(&plan),
+                state,
+                step: Some(step),
+                next: 0,
+                events_mark,
+                sent_mark,
+            });
+        }
+        (report, reference)
+    }
+
+    /// Deterministically re-executes `schedule` (typically a
+    /// [`Counterexample::schedule`]) against the registered scenario.
+    /// Messages are matched by content (sender, receiver, payload
+    /// digest); timers fire in their canonical per-node order, so a
+    /// schedule the explorer produced always matches. Errors describe the
+    /// first step that does not correspond to an enabled transition.
+    pub fn replay(&self, schedule: &[TraceStep]) -> Result<Replay, String> {
+        let mut log = StepLog::default();
+        let mut state = self.root_state(&mut log);
+        let mut violation = None;
+        for (i, step) in schedule.iter().enumerate() {
+            let choice = Self::choice_for(&state, step)
+                .ok_or_else(|| format!("step {}: `{step}` is not enabled here", i + 1))?;
+            state.apply(choice, self.tap.as_ref(), &mut log);
+            if violation.is_none() {
+                violation =
+                    Self::check_state(&state, state.quiescent(), &self.config.invariants).err();
+            }
+        }
+        Ok(Replay {
+            events: log.events,
+            violation,
+        })
+    }
+
+    /// Maps a trace step back onto an enabled [`Choice`] of `state`.
+    fn choice_for(state: &McState, step: &TraceStep) -> Option<Choice> {
+        let find = |from: Pid, to: Pid, digest: u64| {
+            state
+                .in_flight
+                .iter()
+                .position(|m| m.from == from && m.to == to && m.digest == digest)
+        };
+        match step {
+            TraceStep::Deliver { from, to, msg } => {
+                find(*from, *to, digest_of(&**msg)).map(Choice::Deliver)
+            }
+            TraceStep::Drop { from, to, msg } => {
+                find(*from, *to, digest_of(&**msg)).map(Choice::Drop)
+            }
+            TraceStep::Duplicate { from, to, msg } => {
+                find(*from, *to, digest_of(&**msg)).map(Choice::Duplicate)
+            }
+            TraceStep::Fire { node, .. } => state
+                .timers
+                .get(node)
+                .filter(|q| !q.is_empty())
+                .map(|_| Choice::Fire(*node)),
+            TraceStep::Crash { node } => state
+                .node(*node)
+                .filter(|n| n.organizer().is_none() && n.provider().is_some())
+                .map(|_| Choice::Crash(*node)),
+        }
+    }
+}
+
+impl Default for ModelCheckedRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runtime for ModelCheckedRuntime {
+    fn backend_name(&self) -> &'static str {
+        "mc"
+    }
+
+    fn add_node(&mut self, node: CoalitionNode) -> Result<(), RuntimeError> {
+        let id = node.id();
+        if self.initial.contains_node(id) {
+            return Err(RuntimeError::DuplicateNode(id));
+        }
+        self.initial.insert_node(node);
+        self.invalidate();
+        Ok(())
+    }
+
+    fn submit(&mut self, node: Pid, service: ServiceDef, at: SimTime) -> Result<(), RuntimeError> {
+        match self.initial.node(node) {
+            None => return Err(RuntimeError::UnknownNode(node)),
+            Some(n) if n.organizer().is_none() => return Err(RuntimeError::NoOrganizer(node)),
+            Some(_) => {}
+        }
+        self.initial
+            .with_node_mut(node, |n| n.queue_service_at(at, service));
+        self.initial.arm_timer_at(node, at, kickoff_token(node));
+        self.invalidate();
+        Ok(())
+    }
+
+    fn schedule_dissolve(&mut self, nego: NegoId, at: SimTime) -> Result<(), RuntimeError> {
+        if !self.initial.contains_node(nego.organizer) {
+            return Err(RuntimeError::UnknownNode(nego.organizer));
+        }
+        self.initial
+            .arm_timer_at(nego.organizer, at, dissolve_token(nego));
+        self.invalidate();
+        Ok(())
+    }
+
+    /// Runs the exhaustive check. `deadline` is ignored: the explorer is
+    /// bounded by state/depth budgets, not virtual time. Returns the
+    /// number of transitions applied.
+    fn run(&mut self, _deadline: SimTime) -> u64 {
+        self.check().states_explored
+    }
+
+    /// Installs the fault budgets the explorer branches over (the plan's
+    /// sampling probabilities are ignored on this backend).
+    fn set_fault_plan(&mut self, plan: FaultPlan) -> bool {
+        self.config.fault_plan = plan;
+        self.invalidate();
+        true
+    }
+
+    fn events(&self) -> &[LoggedEvent] {
+        self.reference.as_ref().map_or(&[], |r| r.events.as_slice())
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.reference.as_ref().map_or(0, |r| r.sent)
+    }
+
+    fn node(&self, id: Pid) -> Option<&CoalitionNode> {
+        match &self.reference {
+            Some(r) => r.nodes.get(&id).map(|n| &**n),
+            None => self.initial.node(id),
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! End-to-end model-checking tests: the PR's acceptance scenario (an
+//! exhaustive 2-organizer × 2-provider × 2-task CFP round with drop and
+//! duplicate fault branches), the crash-restart branch, and the mutation
+//! self-test that guards against a vacuously-green checker.
+//!
+//! The acceptance scenario follows the paper's ad-hoc-grid setting: two
+//! peer nodes, each hosting *both* an organizer and a provider, each
+//! submitting one single-task service — two concurrent CFP rounds
+//! contending for the same two providers. Its faulted graph is ~6 M
+//! transitions, which an optimised build walks in well under a minute
+//! but a debug build cannot, so the full faulted check is `#[ignore]`d
+//! here and executed on every PR by the `MC_SMOKE` CI step (release
+//! profile); the fault-free variant of the same scenario and a faulted
+//! single-organizer round run in the normal (tier-1) test pass.
+
+use std::sync::Arc;
+
+use qosc_core::{
+    Action, CoalitionNode, Msg, NegoEvent, OrganizerConfig, OrganizerEngine, Pid, ProviderConfig,
+    ProviderEngine, Runtime,
+};
+use qosc_mc::{CheckConfig, ModelCheckedRuntime, TraceStep};
+use qosc_netsim::{FaultPlan, SimTime};
+use qosc_resources::{av_demand_model, ResourceVector};
+use qosc_spec::{catalog, ServiceDef, TaskDef};
+
+fn organizer(id: Pid) -> OrganizerEngine {
+    OrganizerEngine::new(id, OrganizerConfig::for_model_checking())
+}
+
+fn provider(id: Pid, cpu: f64) -> ProviderEngine {
+    let spec = catalog::av_spec();
+    let mut p = ProviderEngine::new(
+        id,
+        ResourceVector::new(cpu, 512.0, 10_000.0, 60.0, 10_000.0),
+        ProviderConfig::for_model_checking(),
+    );
+    p.register_demand_model(spec.name(), Arc::new(av_demand_model(&spec)));
+    p
+}
+
+fn service(name: &str) -> ServiceDef {
+    ServiceDef::new(
+        name,
+        vec![TaskDef {
+            name: format!("{name}-task"),
+            spec: catalog::av_spec(),
+            request: catalog::surveillance_request(),
+            input_bytes: 50_000,
+            output_bytes: 5_000,
+        }],
+    )
+}
+
+/// The acceptance scenario: two dual-role peers (organizer + provider on
+/// each), each submitting one single-task service — 2 organizers ×
+/// 2 providers × 2 tasks, with both CFP rounds contending for the same
+/// capacity.
+fn two_by_two() -> ModelCheckedRuntime {
+    two_by_two_with(CheckConfig::default())
+}
+
+fn two_by_two_with(config: CheckConfig) -> ModelCheckedRuntime {
+    let mut rt = ModelCheckedRuntime::with_config(config);
+    for (id, cpu) in [(0, 400.0), (1, 300.0)] {
+        rt.add_node(
+            CoalitionNode::new(id)
+                .with_organizer(organizer(id))
+                .with_provider(provider(id, cpu)),
+        )
+        .expect("fresh id");
+    }
+    rt.submit(0, service("svc-0"), SimTime::ZERO)
+        .expect("organizer 0");
+    rt.submit(1, service("svc-1"), SimTime::ZERO)
+        .expect("organizer 1");
+    rt
+}
+
+/// One organizer soliciting two separate providers: the faulted variant
+/// is small enough to exhaust in a debug build.
+fn one_by_two() -> ModelCheckedRuntime {
+    let mut rt = ModelCheckedRuntime::new();
+    rt.add_node(CoalitionNode::new(0).with_organizer(organizer(0)))
+        .expect("fresh id");
+    for (id, cpu) in [(1, 400.0), (2, 300.0)] {
+        rt.add_node(CoalitionNode::new(id).with_provider(provider(id, cpu)))
+            .expect("fresh id");
+    }
+    rt.submit(0, service("svc"), SimTime::ZERO)
+        .expect("organizer 0");
+    rt
+}
+
+/// The reference path is the *first* fully-quiescent schedule the DFS
+/// completes — not necessarily a lucky one (with zero hold TTLs an
+/// award can legitimately lose its race against hold expiry there), so
+/// what it must show is every negotiation concluding, one way or the
+/// other.
+fn assert_settled(rt: &ModelCheckedRuntime, expected: usize) {
+    let settled = rt
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.event,
+                NegoEvent::Formed { .. } | NegoEvent::FormationIncomplete { .. }
+            )
+        })
+        .count();
+    assert_eq!(settled, expected, "events: {:?}", rt.events());
+}
+
+/// The PR's headline acceptance check, exhaustively: ~6 M transitions,
+/// run in release by the `MC_SMOKE` CI step (`cargo test --release -p
+/// qosc-mc -- --ignored`).
+#[test]
+#[ignore = "exhaustive faulted graph (~6M transitions): run in release via MC_SMOKE"]
+fn exhaustive_2x2_round_with_drop_and_duplicate_verifies() {
+    // The faulted graph is ~6 M transitions — above the default
+    // 2 M exploration budget, deliberately: the default should stop a
+    // runaway scenario quickly, and exhausting a graph this size is an
+    // explicit choice.
+    let mut rt = two_by_two_with(CheckConfig {
+        max_states: 10_000_000,
+        ..CheckConfig::default()
+    });
+    rt.set_fault_plan(FaultPlan::exhaustive(1, 1));
+    rt.run(SimTime::ZERO); // deadline is ignored on this backend
+    let report = rt.check().clone();
+    assert!(
+        report.verified(),
+        "counterexample: {:?}, budget_exhausted: {}",
+        report.counterexample.map(|c| c.render()),
+        report.budget_exhausted,
+    );
+    // The graph is genuinely explored, not vacuously empty, and the
+    // liveness invariant was exercised on real quiescent states.
+    assert!(report.distinct_states > 1_000_000, "{report:?}");
+    assert!(report.quiescent_states > 100, "{report:?}");
+    assert!(report.max_depth_reached >= 20, "{report:?}");
+    // The reference schedule (first fully-settled path) reads like any
+    // other backend's run: both negotiations concluded.
+    assert_settled(&rt, 2);
+    assert!(rt.messages_sent() > 0);
+}
+
+/// The same 2 × 2 × 2 scenario without fault branches: small enough
+/// (~100 k transitions) to exhaust in every tier-1 run.
+#[test]
+fn exhaustive_2x2_round_fault_free_verifies() {
+    let mut rt = two_by_two();
+    rt.run(SimTime::ZERO);
+    let report = rt.check().clone();
+    assert!(
+        report.verified(),
+        "counterexample: {:?}, budget_exhausted: {}",
+        report.counterexample.map(|c| c.render()),
+        report.budget_exhausted,
+    );
+    assert!(report.distinct_states > 10_000, "{report:?}");
+    assert!(report.quiescent_states > 1, "{report:?}");
+    assert!(report.max_depth_reached >= 15, "{report:?}");
+    assert_settled(&rt, 2);
+    assert!(rt.messages_sent() > 0);
+}
+
+/// Drop + duplicate branches on the single-organizer round, exhaustively,
+/// in tier-1: every way one message is lost and one repeated.
+#[test]
+fn faulted_one_by_two_round_verifies_and_faults_enlarge_the_graph() {
+    let mut plain = one_by_two();
+    plain.run(SimTime::ZERO);
+    let plain_states = plain.check().distinct_states;
+    assert!(plain.check().verified());
+
+    let mut faulted = one_by_two();
+    faulted.set_fault_plan(FaultPlan::exhaustive(1, 1));
+    faulted.run(SimTime::ZERO);
+    let report = faulted.check().clone();
+    assert!(
+        report.verified(),
+        "counterexample: {:?}",
+        report.counterexample.map(|c| c.render())
+    );
+    // A dropped CFP or proposal forces deadline paths a fault-free round
+    // never takes; the graph must strictly grow.
+    assert!(
+        plain_states < report.distinct_states,
+        "fault branches must enlarge the graph: {plain_states} vs {}",
+        report.distinct_states
+    );
+    assert!(report.quiescent_states > 1, "{report:?}");
+}
+
+#[test]
+fn crash_restart_branches_are_explored_and_safe() {
+    let mut rt = one_by_two();
+    rt.set_fault_plan(FaultPlan::none().with_crash_restarts(1));
+    rt.run(SimTime::ZERO);
+    let report = rt.check().clone();
+    assert!(
+        report.verified(),
+        "counterexample: {:?}",
+        report.counterexample.map(|c| c.render())
+    );
+    assert!(report.quiescent_states > 1);
+}
+
+#[test]
+fn check_is_idempotent_and_invalidated_by_scenario_changes() {
+    let mut rt = one_by_two();
+    let first = rt.check().clone();
+    let second = rt.check().clone();
+    assert_eq!(first.distinct_states, second.distinct_states);
+    assert_eq!(first.states_explored, second.states_explored);
+    // Installing a fault plan invalidates the cached verdict.
+    rt.set_fault_plan(FaultPlan::exhaustive(1, 0));
+    let third = rt.check().clone();
+    assert!(third.distinct_states > first.distinct_states);
+}
+
+/// The mutation self-test: plant a protocol bug (a provider that cannot
+/// honour an award lies and *accepts* instead of declining) and assert
+/// the checker produces a replayable safety counterexample. Guards
+/// against a checker that is green because it checks nothing.
+#[test]
+fn mutated_award_acceptance_yields_replayable_counterexample() {
+    let build = || {
+        let mut rt = ModelCheckedRuntime::new();
+        rt.add_node(CoalitionNode::new(0).with_organizer(organizer(0)))
+            .expect("fresh id");
+        rt.add_node(CoalitionNode::new(1).with_provider(provider(1, 400.0)))
+            .expect("fresh id");
+        rt.submit(0, service("svc"), SimTime::ZERO)
+            .expect("organizer 0");
+        rt
+    };
+
+    // Sanity: the unmutated protocol verifies on this scenario.
+    let mut sane = build();
+    assert!(sane.check().verified());
+
+    let mut rt = build();
+    rt.set_action_tap(Arc::new(|_pid, actions: &mut Vec<Action>| {
+        for action in actions.iter_mut() {
+            if let Action::Send { msg, .. } = action {
+                if let Msg::Decline { nego, task, from } = **msg {
+                    // The planted bug: accept awards we cannot back.
+                    *msg = Arc::new(Msg::Accept { nego, task, from });
+                }
+            }
+        }
+    }));
+    let report = rt.check().clone();
+    let ce = report
+        .counterexample
+        .expect("the planted bug must produce a counterexample");
+    assert_eq!(
+        ce.violation.invariant,
+        "no-orphaned-winner",
+        "{}",
+        ce.render()
+    );
+    assert!(!ce.schedule.is_empty());
+    // The schedule must include the race that exposes the bug: the
+    // provider's hold expired (its timer fired) before the award landed.
+    assert!(
+        ce.schedule
+            .iter()
+            .any(|s| matches!(s, TraceStep::Fire { node: 1, .. })),
+        "{}",
+        ce.render()
+    );
+    // The rendered trace is a readable event log.
+    let rendered = ce.render();
+    assert!(rendered.contains("no-orphaned-winner"), "{rendered}");
+    assert!(rendered.contains("schedule:"), "{rendered}");
+
+    // Replaying the schedule deterministically reproduces the violation.
+    let replay = rt.replay(&ce.schedule).expect("schedule must be enabled");
+    assert_eq!(replay.violation, Some(ce.violation));
+}
+
+#[test]
+fn replay_rejects_schedules_that_do_not_match_the_scenario() {
+    let rt = two_by_two();
+    // Both peers host an organizer, so neither is crash-eligible.
+    let bogus = vec![TraceStep::Crash { node: 0 }];
+    let err = rt
+        .replay(&bogus)
+        .expect_err("organizers cannot crash-restart");
+    assert!(err.contains("step 1"), "{err}");
+}

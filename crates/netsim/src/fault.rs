@@ -1,0 +1,275 @@
+//! The fault vocabulary shared by every backend.
+//!
+//! A [`FaultPlan`] names the message-level and node-level faults a run is
+//! allowed to experience: message drop, message duplication, message
+//! reorder (extra delivery latency), and provider crash-restart mid-CFP.
+//! The same plan drives two very different consumers:
+//!
+//! * the **model checker** (`qosc-mc`) treats the `max_*` budgets as
+//!   branching bounds — at every deliverable message it forks the
+//!   exploration into deliver / drop / duplicate branches while budget
+//!   remains (reorder needs no budget there: the explorer already visits
+//!   every delivery order);
+//! * the **sampled backends** (DES simulator, direct runtime) draw faults
+//!   probabilistically through a [`FaultSampler`], seeded separately from
+//!   the radio RNG so that enabling faults perturbs nothing else and a
+//!   plan with all probabilities zero is bit-identical to no plan at all.
+//!
+//! Keeping one vocabulary means a schedule the checker proves safe on a
+//! small instance and a seeded 200-node run inject the *same kind* of
+//! adversity, differing only in exhaustiveness.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::time::SimDuration;
+
+/// Declarative description of the faults a run may inject.
+///
+/// Budgets (`max_*`) cap the *total* number of faults of each kind over
+/// the whole run; probabilities govern how eagerly the sampled backends
+/// spend those budgets. The model checker ignores the probabilities and
+/// branches over every way of spending the budgets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Maximum number of message drops.
+    pub max_drops: u32,
+    /// Maximum number of message duplications.
+    pub max_duplicates: u32,
+    /// Maximum number of provider crash-restarts.
+    pub max_crash_restarts: u32,
+    /// Per-delivery drop probability on sampled backends.
+    pub drop_prob: f64,
+    /// Per-delivery duplication probability on sampled backends.
+    pub duplicate_prob: f64,
+    /// Per-delivery reorder probability on sampled backends.
+    pub reorder_prob: f64,
+    /// Extra latency added to a reordered delivery (uniform in
+    /// `0..=reorder_jitter`).
+    pub reorder_jitter: SimDuration,
+    /// Seed for the dedicated fault RNG; independent of the radio seed.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults of any kind.
+    pub fn none() -> Self {
+        Self {
+            max_drops: 0,
+            max_duplicates: 0,
+            max_crash_restarts: 0,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_jitter: SimDuration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// Budget-only plan for exhaustive exploration: up to `drops` message
+    /// drops and `duplicates` duplications, no probabilistic sampling.
+    pub fn exhaustive(drops: u32, duplicates: u32) -> Self {
+        Self {
+            max_drops: drops,
+            max_duplicates: duplicates,
+            ..Self::none()
+        }
+    }
+
+    /// Probability-driven plan for sampled backends with unlimited
+    /// budgets. Combine with [`FaultPlan::with_drop`],
+    /// [`FaultPlan::with_duplicate`] and [`FaultPlan::with_reorder`].
+    pub fn sampled(seed: u64) -> Self {
+        Self {
+            max_drops: u32::MAX,
+            max_duplicates: u32::MAX,
+            max_crash_restarts: 0,
+            seed,
+            ..Self::none()
+        }
+    }
+
+    /// Sets the per-delivery drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the per-delivery duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Sets the per-delivery reorder probability and jitter bound.
+    pub fn with_reorder(mut self, p: f64, jitter: SimDuration) -> Self {
+        self.reorder_prob = p;
+        self.reorder_jitter = jitter;
+        self
+    }
+
+    /// Sets the crash-restart budget (explored by the model checker).
+    pub fn with_crash_restarts(mut self, n: u32) -> Self {
+        self.max_crash_restarts = n;
+        self
+    }
+
+    /// Whether this plan names no faults at all — no budgets for the
+    /// model checker to branch over, no probabilities for a sampler.
+    pub fn is_none(&self) -> bool {
+        self.max_drops == 0
+            && self.max_duplicates == 0
+            && self.max_crash_restarts == 0
+            && self.drop_prob == 0.0
+            && self.duplicate_prob == 0.0
+            && self.reorder_prob == 0.0
+    }
+
+    /// Whether the plan is meaningful for a *sampled* backend: at least
+    /// one probability is positive with budget to spend.
+    pub fn samples_anything(&self) -> bool {
+        (self.drop_prob > 0.0 && self.max_drops > 0)
+            || (self.duplicate_prob > 0.0 && self.max_duplicates > 0)
+            || self.reorder_prob > 0.0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Outcome of one sampled delivery decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryFault {
+    /// Deliver the message normally.
+    None,
+    /// Drop the message.
+    Drop,
+    /// Deliver the message twice.
+    Duplicate,
+}
+
+/// Draws faults for a sampled backend according to a [`FaultPlan`].
+///
+/// Owns a dedicated `ChaCha8Rng` seeded from `plan.seed`, so fault draws
+/// never perturb the backend's own randomness: two runs with the same
+/// seeds are bit-identical whether or not a plan is installed, and a plan
+/// that samples nothing consumes no randomness at all.
+#[derive(Debug, Clone)]
+pub struct FaultSampler {
+    plan: FaultPlan,
+    rng: ChaCha8Rng,
+    drops_done: u32,
+    duplicates_done: u32,
+}
+
+impl FaultSampler {
+    /// Creates a sampler for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            rng: ChaCha8Rng::seed_from_u64(plan.seed),
+            drops_done: 0,
+            duplicates_done: 0,
+        }
+    }
+
+    /// The plan this sampler draws from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decides the fate of one delivery: drop, duplicate, or deliver.
+    /// Budgets are enforced; exhausted kinds are never drawn again.
+    pub fn on_delivery(&mut self) -> DeliveryFault {
+        if self.plan.drop_prob > 0.0
+            && self.drops_done < self.plan.max_drops
+            && self.rng.gen_bool(self.plan.drop_prob)
+        {
+            self.drops_done += 1;
+            return DeliveryFault::Drop;
+        }
+        if self.plan.duplicate_prob > 0.0
+            && self.duplicates_done < self.plan.max_duplicates
+            && self.rng.gen_bool(self.plan.duplicate_prob)
+        {
+            self.duplicates_done += 1;
+            return DeliveryFault::Duplicate;
+        }
+        DeliveryFault::None
+    }
+
+    /// Draws reorder jitter for one delivery copy: `Some(extra_latency)`
+    /// with probability `reorder_prob`, `None` otherwise.
+    pub fn reorder(&mut self) -> Option<SimDuration> {
+        if self.plan.reorder_prob > 0.0 && self.rng.gen_bool(self.plan.reorder_prob) {
+            let span = self.plan.reorder_jitter.as_micros();
+            if span == 0 {
+                return None;
+            }
+            return Some(SimDuration::micros(self.rng.gen_range(1..=span)));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_none() {
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan::none().samples_anything());
+        assert!(!FaultPlan::exhaustive(1, 1).samples_anything());
+    }
+
+    #[test]
+    fn sampled_plan_samples() {
+        let p = FaultPlan::sampled(7).with_drop(0.5);
+        assert!(p.samples_anything());
+        assert!(!p.is_none());
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let plan = FaultPlan::sampled(42)
+            .with_drop(0.3)
+            .with_duplicate(0.3)
+            .with_reorder(0.3, SimDuration::millis(5));
+        let draw = |mut s: FaultSampler| {
+            (0..200)
+                .map(|_| (s.on_delivery(), s.reorder()))
+                .collect::<Vec<_>>()
+        };
+        let a = draw(FaultSampler::new(plan));
+        let b = draw(FaultSampler::new(plan));
+        assert_eq!(a, b);
+        assert!(a.iter().any(|(f, _)| *f == DeliveryFault::Drop));
+        assert!(a.iter().any(|(f, _)| *f == DeliveryFault::Duplicate));
+        assert!(a.iter().any(|(_, r)| r.is_some()));
+    }
+
+    #[test]
+    fn budgets_cap_sampled_faults() {
+        let plan = FaultPlan {
+            max_drops: 3,
+            max_duplicates: 2,
+            drop_prob: 1.0,
+            duplicate_prob: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut s = FaultSampler::new(plan);
+        let faults: Vec<_> = (0..10).map(|_| s.on_delivery()).collect();
+        let drops = faults.iter().filter(|f| **f == DeliveryFault::Drop).count();
+        let dups = faults
+            .iter()
+            .filter(|f| **f == DeliveryFault::Duplicate)
+            .count();
+        assert_eq!(drops, 3);
+        assert_eq!(dups, 2);
+        assert!(faults[5..].iter().all(|f| *f == DeliveryFault::None));
+    }
+}

@@ -19,6 +19,8 @@
 //!   hook; applications send via [`Ctx`]. Payloads ride the heap behind
 //!   `Arc<M>`: a broadcast allocates once regardless of fan-out.
 //! * [`NetStats`] — message/latency counters for the T1 experiment.
+//! * [`FaultPlan`] / [`FaultSampler`] — drop/duplicate/reorder fault
+//!   injection, sharing one vocabulary with the `qosc-mc` model checker.
 //!
 //! Determinism: all randomness flows through one seeded `ChaCha8Rng`, events
 //! are totally ordered by `(time, sequence)`, and the clock is integral —
@@ -27,6 +29,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod fault;
 mod geometry;
 mod grid;
 mod mobility;
@@ -35,6 +38,7 @@ mod sim;
 mod stats;
 mod time;
 
+pub use fault::{DeliveryFault, FaultPlan, FaultSampler};
 pub use geometry::{Area, Point};
 pub use grid::NeighbourIndex;
 pub use mobility::{Mobility, MobilityState};

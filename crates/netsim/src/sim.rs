@@ -28,6 +28,7 @@ use std::sync::Arc;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::fault::{DeliveryFault, FaultPlan, FaultSampler};
 use crate::geometry::{Area, Point};
 use crate::grid::NeighbourIndex;
 use crate::mobility::{Mobility, MobilityState};
@@ -246,6 +247,9 @@ pub struct Simulator<M> {
     cand_scratch: Vec<NodeId>,
     /// Reused handler command buffer (one per event otherwise).
     cmd_scratch: Vec<Command<M>>,
+    /// Probabilistic fault injection; `None` keeps the delivery path
+    /// bit-identical to a simulator without a fault layer.
+    fault: Option<FaultSampler>,
 }
 
 impl<M> Simulator<M> {
@@ -266,7 +270,43 @@ impl<M> Simulator<M> {
             bcast_scratch: Vec::new(),
             cand_scratch: Vec::new(),
             cmd_scratch: Vec::new(),
+            fault: None,
         }
+    }
+
+    /// Installs a [`FaultPlan`] whose drop/duplicate/reorder faults are
+    /// sampled on every subsequent delivery, from a dedicated RNG seeded
+    /// by `plan.seed`. A plan that samples nothing uninstalls the layer,
+    /// restoring the exact no-fault event stream.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan.samples_anything().then(|| FaultSampler::new(plan));
+    }
+
+    /// Decides how many copies of a delivery to schedule and at what
+    /// times, consulting the fault sampler if one is installed. Returns
+    /// delivery times; an empty result means the message was dropped.
+    fn fault_delivery_times(&mut self, base_at: SimTime) -> [Option<SimTime>; 2] {
+        let Some(f) = self.fault.as_mut() else {
+            return [Some(base_at), None];
+        };
+        let mut times = match f.on_delivery() {
+            DeliveryFault::Drop => {
+                self.stats.faults_dropped += 1;
+                [None, None]
+            }
+            DeliveryFault::None => [Some(base_at), None],
+            DeliveryFault::Duplicate => {
+                self.stats.faults_duplicated += 1;
+                [Some(base_at), Some(base_at)]
+            }
+        };
+        for slot in times.iter_mut().flatten() {
+            if let Some(jitter) = f.reorder() {
+                self.stats.faults_reordered += 1;
+                *slot += jitter;
+            }
+        }
+        times
     }
 
     /// Adds a node at `pos` with the given mobility; returns its id.
@@ -447,18 +487,23 @@ impl<M> Simulator<M> {
             return;
         }
         let latency = self.config.radio.latency(bytes);
-        let at = self.now + latency;
         let sent_at = self.now;
-        self.push(
-            at,
-            EventKind::Deliver {
-                src,
-                dst,
-                bytes,
-                sent_at,
-                msg,
-            },
-        );
+        for at in self
+            .fault_delivery_times(sent_at + latency)
+            .into_iter()
+            .flatten()
+        {
+            self.push(
+                at,
+                EventKind::Deliver {
+                    src,
+                    dst,
+                    bytes,
+                    sent_at,
+                    msg: Arc::clone(&msg),
+                },
+            );
+        }
     }
 
     fn submit_broadcast(&mut self, src: NodeId, bytes: u64, msg: Arc<M>) {
@@ -492,19 +537,24 @@ impl<M> Simulator<M> {
                 self.stats.unicasts_lost += 1;
                 continue;
             }
-            let at = self.now + latency;
             let sent_at = self.now;
-            self.push(
-                at,
-                EventKind::Deliver {
-                    src,
-                    dst,
-                    bytes,
-                    sent_at,
-                    // Shared payload: the broadcast's one allocation.
-                    msg: Arc::clone(&msg),
-                },
-            );
+            for at in self
+                .fault_delivery_times(sent_at + latency)
+                .into_iter()
+                .flatten()
+            {
+                self.push(
+                    at,
+                    EventKind::Deliver {
+                        src,
+                        dst,
+                        bytes,
+                        sent_at,
+                        // Shared payload: the broadcast's one allocation.
+                        msg: Arc::clone(&msg),
+                    },
+                );
+            }
         }
         self.bcast_scratch = targets;
     }

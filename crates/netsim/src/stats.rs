@@ -25,6 +25,12 @@ pub struct NetStats {
     pub broadcast_deliveries: u64,
     /// Total payload bytes delivered (unicast + broadcast copies).
     pub bytes_delivered: u64,
+    /// Deliveries dropped by the fault layer (not the radio loss model).
+    pub faults_dropped: u64,
+    /// Deliveries duplicated by the fault layer.
+    pub faults_duplicated: u64,
+    /// Delivery copies delayed (reordered) by the fault layer.
+    pub faults_reordered: u64,
     /// Sum of delivery latencies (for the mean).
     latency_sum_us: u64,
     /// Number of latency samples.

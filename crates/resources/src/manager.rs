@@ -165,6 +165,20 @@ impl ResourceManager {
     pub fn hold_state(&self, id: HoldId) -> Option<HoldState> {
         self.holds.get(&id.0).map(|h| h.state)
     }
+
+    /// Canonical view of every outstanding hold as
+    /// `(id, amount, state, expires_at)`, sorted by id. The order is
+    /// deterministic regardless of `HashMap` iteration order, which is what
+    /// state-hashing consumers (the model checker) need.
+    pub fn holds_snapshot(&self) -> Vec<(u64, f64, HoldState, u64)> {
+        let mut v: Vec<_> = self
+            .holds
+            .iter()
+            .map(|(id, h)| (*id, h.amount, h.state, h.expires_at))
+            .collect();
+        v.sort_unstable_by_key(|e| e.0);
+        v
+    }
 }
 
 /// A vector-shaped reservation across several managers: one optional hold

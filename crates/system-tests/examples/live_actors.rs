@@ -33,7 +33,8 @@ fn main() {
             })
             .collect(),
     );
-    rt.submit(0, service, SimTime(1_000)).unwrap();
+    rt.submit(0, service, SimTime(1_000))
+        .expect("node 0 hosts the organizer");
 
     // Wait (wall clock!) for the coalition to form.
     let settled = rt.run_until_settled(1, SimTime(10_000_000));

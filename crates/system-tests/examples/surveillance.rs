@@ -98,7 +98,7 @@ fn main() {
     for lvl in 0..resolved.dimensions[0].attributes[0].levels.len() {
         let d = evaluator
             .distance_of_levels(&spec, &resolved, &[lvl, 0, 0, 0])
-            .unwrap();
+            .expect("ladder levels are in-domain");
         println!(
             "frame_rate = {:>2} -> distance {:.4}",
             resolved.dimensions[0].attributes[0].levels[lvl], d

@@ -40,7 +40,9 @@ fn node(id: u32, class: DeviceClass) -> OfflineNode {
 
 fn main() {
     let spec = catalog::transcode_spec();
-    let request = catalog::transcode_request().resolve(&spec).unwrap();
+    let request = catalog::transcode_request()
+        .resolve(&spec)
+        .expect("catalog request matches catalog spec");
     println!("payload_mb | winner        | distance | comm_cost_s");
     println!("-----------|---------------|----------|------------");
     for mb in [0.5, 1.0, 2.0, 5.0, 10.0, 40.0] {

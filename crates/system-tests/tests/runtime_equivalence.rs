@@ -50,7 +50,8 @@ fn run_on(
     let mut rt = config(nodes, seed).build_backend(backend);
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xE0_0001);
     let svc = AppTemplate::Surveillance.service("svc", tasks, &mut rng);
-    rt.submit(organizer, svc, SimTime(1_000)).unwrap();
+    rt.submit(organizer, svc, SimTime(1_000))
+        .expect("submit targets an organizer node");
     rt.run(SimTime(5_000_000));
     (rt.events().to_vec(), rt.messages_sent())
 }
@@ -133,7 +134,8 @@ fn direct_outcome(
     let mut rt = outcome_config(nodes, seed).build_backend(Backend::Direct);
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xAC_0001);
     let svc = AppTemplate::Surveillance.service("svc", tasks, &mut rng);
-    rt.submit(0, svc, SimTime(1_000)).unwrap();
+    rt.submit(0, svc, SimTime(1_000))
+        .expect("node 0 hosts the organizer");
     rt.run(SimTime(5_000_000));
     (winner_maps(rt.events()), rt.messages_sent())
 }
@@ -148,7 +150,8 @@ fn actor_outcome(
     let mut rt = outcome_config(nodes, seed).build_backend(Backend::Actor);
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xAC_0001);
     let svc = AppTemplate::Surveillance.service("svc", tasks, &mut rng);
-    rt.submit(0, svc, SimTime(1_000)).unwrap();
+    rt.submit(0, svc, SimTime(1_000))
+        .expect("node 0 hosts the organizer");
     let settled = rt.run_until_settled(1, SimTime(30_000_000));
     assert_eq!(settled, 1, "live negotiation failed to settle in 30 s");
     let out = (winner_maps(rt.events()), rt.messages_sent());

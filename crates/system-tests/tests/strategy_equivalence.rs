@@ -74,7 +74,7 @@ fn run_virtual(
     seed: u64,
 ) -> (Vec<qosc_core::LoggedEvent>, u64) {
     let mut rt = chained_config(nodes, seed).build_backend(backend);
-    submit_service(&mut rt, tasks, seed).unwrap();
+    submit_service(&mut rt, tasks, seed).expect("node 0 hosts the organizer");
     rt.run(SimTime(5_000_000));
     (rt.events().to_vec(), rt.messages_sent())
 }
@@ -141,7 +141,7 @@ fn chained_outcomes_pin_across_all_three_backends() {
         // Live actor backend: winner maps and formation message counts
         // must match Direct exactly.
         let mut rt = chained_config(nodes, seed).build_backend(Backend::Actor);
-        submit_service(&mut rt, tasks, seed).unwrap();
+        submit_service(&mut rt, tasks, seed).expect("node 0 hosts the organizer");
         let settled = rt.run_until_settled(1, SimTime(30_000_000));
         assert_eq!(settled, 1, "live chained negotiation failed to settle");
         let act_winners = winner_maps(rt.events());
@@ -168,7 +168,7 @@ fn chained_outcomes_pin_across_all_three_backends() {
             ..ScenarioConfig::dense(nodes, seed)
         }
         .build_backend(Backend::Direct);
-        submit_service(&mut rt, tasks, seed).unwrap();
+        submit_service(&mut rt, tasks, seed).expect("node 0 hosts the organizer");
         rt.run(SimTime(5_000_000));
         if winner_maps(rt.events()) != dir_winners {
             chain_changed_something = true;
