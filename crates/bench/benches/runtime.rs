@@ -41,9 +41,10 @@ fn bench_runtime_backends(c: &mut Criterion) {
         // A 256-node negotiation costs ~10× the 64-node one; fewer
         // samples keep the suite quick without losing the signal.
         g.sample_size(if nodes >= 256 { 10 } else { 20 });
-        for backend in [Backend::Direct, Backend::Des] {
+        for backend in [Backend::Direct, Backend::DirectBatched, Backend::Des] {
             let name = match backend {
                 Backend::Direct => "direct_dense",
+                Backend::DirectBatched => "direct_batched_dense",
                 Backend::Des => "des_dense",
                 Backend::Actor => unreachable!(),
             };

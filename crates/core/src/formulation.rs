@@ -64,6 +64,17 @@
 //!   announced spec/request and the registered demand model on every hit
 //!   and invalidated by [`Formulator::invalidate_spec`] when a provider
 //!   re-registers a demand model.
+//! * **Warm-started degradation** ([`Formulator::formulate_warm`],
+//!   [`Formulator::formulate_shedding_warm`]) — the §5 step *sequence*
+//!   is independent of the admission capacity: the heap orders candidate
+//!   steps purely by penalty-table decreases, and capacity only decides
+//!   where along the sequence the loop stops. A keyed trajectory records
+//!   the sequence (with the exact floating-point demand accumulations
+//!   the cold loop would hold) the first time a bundle is priced, so
+//!   every later round of the same negotiation replays recorded states
+//!   in O(1) per step — no demand-model evaluation, no heap operations —
+//!   and extends the recording lazily only when a tighter capacity needs
+//!   deeper degradation. Results are bit-identical to the cold path.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -616,6 +627,235 @@ fn shed(
     }
 }
 
+/// One recorded step of a [`Trajectory`]: which attribute was degraded,
+/// plus the engine state *after* the step — the degraded task's new
+/// demand, the running total (the exact floating-point accumulation the
+/// cold loop holds at this point) and the count of dependency-violating
+/// tasks. Recording post-step state makes replay a pure array walk.
+struct TrajStep {
+    task: u32,
+    flat: u32,
+    demand: ResourceVector,
+    total: ResourceVector,
+    deps_bad: usize,
+}
+
+/// A replayable degradation trajectory for one prepared bundle.
+///
+/// [`degrade`]'s step sequence is a function of the penalty tables alone:
+/// the heap orders candidates by reward decrease, never by capacity, so
+/// the admission control only chooses *where along the sequence* the loop
+/// stops — at the first prefix that is dependency-consistent and
+/// schedulable. A trajectory records that sequence once and answers later
+/// formulations of the same bundle by scanning recorded `(total,
+/// deps_bad)` states, extending the recording lazily (from saved live
+/// engine state) only when a tighter capacity needs steps nobody has
+/// taken yet. Replay involves no demand-model calls and no heap
+/// operations, and — because the recorded totals are the very
+/// accumulations the cold loop computes — returns results bit-identical
+/// to [`degrade`].
+struct Trajectory {
+    /// The bundle, by identity: a warm hit requires pointer-equal tasks
+    /// (the `Arc`s also keep the compiled tables alive).
+    tasks: Vec<Arc<PreparedTask>>,
+    /// Initial (all-preferred) per-task demands and their sum.
+    demands0: Vec<ResourceVector>,
+    total0: ResourceVector,
+    deps_bad0: usize,
+    /// Recorded steps, in degradation order.
+    steps: Vec<TrajStep>,
+    /// Live frontier state for extending the recording.
+    levels: Vec<Vec<usize>>,
+    qvs: Vec<QualityVector>,
+    demands: Vec<ResourceVector>,
+    deps_ok_v: Vec<bool>,
+    heap: BinaryHeap<Step>,
+    /// The heap ran dry: the recording is complete.
+    exhausted: bool,
+}
+
+impl Trajectory {
+    /// Computes the initial state — an exact mirror of [`degrade`]'s
+    /// initialisation, including the heap seeding.
+    fn new(tasks: Vec<Arc<PreparedTask>>) -> Self {
+        let levels: Vec<Vec<usize>> = tasks
+            .iter()
+            .map(|t| vec![0usize; t.request.attr_count()])
+            .collect();
+        let qvs: Vec<QualityVector> = tasks
+            .iter()
+            .enumerate()
+            .map(|(ti, t)| {
+                t.request
+                    .quality_vector(&t.spec, &levels[ti])
+                    .expect("levels are kept within ladder bounds")
+            })
+            .collect();
+        let mut demands = Vec::with_capacity(tasks.len());
+        let mut deps_ok_v = Vec::with_capacity(tasks.len());
+        let mut deps_bad = 0usize;
+        let mut total = ResourceVector::ZERO;
+        for (t, qv) in tasks.iter().zip(qvs.iter()) {
+            let d = t.demand.demand(&t.spec, qv);
+            let ok = qv.satisfies_dependencies(&t.spec);
+            total += d;
+            demands.push(d);
+            deps_ok_v.push(ok);
+            deps_bad += usize::from(!ok);
+        }
+        let mut heap = BinaryHeap::new();
+        for (ti, t) in tasks.iter().enumerate() {
+            for (flat, row) in t.table.rows.iter().enumerate() {
+                if row.len() > 1 {
+                    heap.push(Step {
+                        decrease: row[1] - row[0],
+                        task: ti as u32,
+                        flat: flat as u32,
+                        level: 0,
+                    });
+                }
+            }
+        }
+        Self {
+            demands0: demands.clone(),
+            total0: total,
+            deps_bad0: deps_bad,
+            steps: Vec::new(),
+            levels,
+            qvs,
+            demands,
+            deps_ok_v,
+            heap,
+            exhausted: false,
+            tasks,
+        }
+    }
+
+    /// Whether this trajectory was recorded for exactly `tasks`.
+    fn matches(&self, tasks: &[Arc<PreparedTask>]) -> bool {
+        self.tasks.len() == tasks.len()
+            && self.tasks.iter().zip(tasks).all(|(a, b)| Arc::ptr_eq(a, b))
+    }
+
+    /// `(total, deps_bad)` after `k` recorded steps.
+    fn state_at(&self, k: usize) -> (ResourceVector, usize) {
+        if k == 0 {
+            (self.total0, self.deps_bad0)
+        } else {
+            let s = &self.steps[k - 1];
+            (s.total, s.deps_bad)
+        }
+    }
+
+    /// Extends the recording by one step — an exact mirror of the
+    /// [`degrade`] loop body, including the lazy stale-entry drop.
+    /// Returns `false` when the heap is dry (recording complete).
+    fn advance(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        let (ti, flat) = loop {
+            let Some(step) = self.heap.pop() else {
+                self.exhausted = true;
+                return false;
+            };
+            let (ti, flat) = (step.task as usize, step.flat as usize);
+            if self.levels[ti][flat] == step.level as usize {
+                break (ti, flat);
+            }
+        };
+        let t = &self.tasks[ti];
+        let lvl = self.levels[ti][flat] + 1;
+        self.levels[ti][flat] = lvl;
+        let row = &t.table.rows[flat];
+        if lvl + 1 < row.len() {
+            self.heap.push(Step {
+                decrease: row[lvl + 1] - row[lvl],
+                task: ti as u32,
+                flat: flat as u32,
+                level: lvl as u32,
+            });
+        }
+        let pref = t
+            .request
+            .iter_attrs()
+            .nth(flat)
+            .expect("flat index enumerates requested attributes")
+            .1;
+        let wrote = self.qvs[ti].set_flat_unchecked(t.flat_spec[flat], pref.levels[lvl].clone());
+        debug_assert!(wrote, "flat index out of range for the quality vector");
+        // Start from the last recorded accumulation so the arithmetic is
+        // the same -=/+= sequence the cold loop performs.
+        let (mut total, mut deps_bad) = self.state_at(self.steps.len());
+        total -= self.demands[ti];
+        let d = t.demand.demand(&t.spec, &self.qvs[ti]);
+        let ok = self.qvs[ti].satisfies_dependencies(&t.spec);
+        total += d;
+        self.demands[ti] = d;
+        if ok != self.deps_ok_v[ti] {
+            self.deps_ok_v[ti] = ok;
+            if ok {
+                deps_bad -= 1;
+            } else {
+                deps_bad += 1;
+            }
+        }
+        self.steps.push(TrajStep {
+            task: ti as u32,
+            flat: flat as u32,
+            demand: d,
+            total,
+            deps_bad,
+        });
+        true
+    }
+
+    /// Rebuilds the [`Formulated`] the cold loop returns when it stops
+    /// after `k` degradation steps.
+    fn result_at(&self, k: usize) -> Formulated {
+        let mut levels: Vec<Vec<usize>> = self
+            .tasks
+            .iter()
+            .map(|t| vec![0usize; t.request.attr_count()])
+            .collect();
+        let mut demands = self.demands0.clone();
+        for s in &self.steps[..k] {
+            levels[s.task as usize][s.flat as usize] += 1;
+            demands[s.task as usize] = s.demand;
+        }
+        let reward = self
+            .tasks
+            .iter()
+            .zip(levels.iter())
+            .map(|(t, lv)| t.table.reward(lv))
+            .sum();
+        Formulated {
+            levels,
+            demands,
+            reward,
+            degradations: k as u32,
+        }
+    }
+
+    /// Walks recorded prefixes (extending on demand) to the first
+    /// acceptable one — the same stopping rule as [`degrade`], evaluated
+    /// over recorded states.
+    fn formulate(&mut self, admission: &AdmissionControl) -> Result<Formulated, FormulationError> {
+        let n = self.tasks.len();
+        let mut k = 0usize;
+        loop {
+            let (total, deps_bad) = self.state_at(k);
+            if deps_bad == 0 && admission.schedulable_total(&total, n) {
+                return Ok(self.result_at(k));
+            }
+            if k == self.steps.len() && !self.advance() {
+                return Err(FormulationError::Infeasible);
+            }
+            k += 1;
+        }
+    }
+}
+
 /// Runs the §5 heuristic over a set of tasks against one node's admission
 /// control. Pure: resource *reservation* is the caller's job (the provider
 /// engine prepares holds for the returned demands).
@@ -779,17 +1019,27 @@ pub struct Formulator {
     reward: Arc<dyn RewardModel>,
     cache: HashMap<(String, String), CacheEntry>,
     heap: BinaryHeap<Step>,
+    /// Warm-start trajectories keyed by `(caller key, bundle length)`;
+    /// see [`Formulator::formulate_warm`]. The bundle length is part of
+    /// the key so shedding's nested prefixes warm independently.
+    warm: HashMap<(u64, usize), Trajectory>,
 }
+
+/// Bound on retained warm trajectories. Warm state is behaviour-neutral
+/// (a rebuild costs one cold run), so hitting the cap simply clears the
+/// table instead of tracking recency.
+const WARM_CAP: usize = 1024;
 
 impl Clone for Formulator {
     /// Clones the engine for state-forking consumers (the model checker).
-    /// The scratch heap is transient between `formulate` calls, so the
-    /// clone starts with an empty one rather than copying dead entries.
+    /// The scratch heap and warm trajectories are behaviour-neutral
+    /// accelerators, so the clone starts cold rather than copying them.
     fn clone(&self) -> Self {
         Self {
             reward: Arc::clone(&self.reward),
             cache: self.cache.clone(),
             heap: BinaryHeap::new(),
+            warm: HashMap::new(),
         }
     }
 }
@@ -801,6 +1051,7 @@ impl Formulator {
             reward,
             cache: HashMap::new(),
             heap: BinaryHeap::new(),
+            warm: HashMap::new(),
         }
     }
 
@@ -863,6 +1114,8 @@ impl Formulator {
     /// demands were computed under the old model.
     pub fn invalidate_spec(&mut self, spec_name: &str) {
         self.cache.retain(|(s, _), _| s != spec_name);
+        self.warm
+            .retain(|_, t| t.tasks.iter().all(|p| p.spec.name() != spec_name));
     }
 
     /// Heap-driven §5 formulation over prepared tasks, reusing the
@@ -886,6 +1139,103 @@ impl Formulator {
         admission: &AdmissionControl,
     ) -> Option<(usize, Formulated)> {
         shed(tasks, admission, &mut self.heap)
+    }
+
+    /// Serves the warm trajectory for `(key, tasks)`, building or
+    /// rebuilding it when missing or recorded for a different bundle.
+    fn warm_entry(&mut self, key: u64, tasks: &[Arc<PreparedTask>]) -> &mut Trajectory {
+        let slot = (key, tasks.len());
+        let stale = match self.warm.get(&slot) {
+            Some(t) => !t.matches(tasks),
+            None => true,
+        };
+        if stale {
+            if self.warm.len() >= WARM_CAP {
+                self.warm.clear();
+            }
+            self.warm.insert(slot, Trajectory::new(tasks.to_vec()));
+        }
+        self.warm.get_mut(&slot).expect("entry inserted above")
+    }
+
+    /// Warm-started §5 formulation: identical results to
+    /// [`Formulator::formulate`] (pinned by `formulation_props`), but the
+    /// degradation sequence for `(key, tasks)` is recorded on first use
+    /// and replayed on every later call — later rounds of the same
+    /// negotiation pay an array scan instead of demand-model evaluations
+    /// and heap churn. `key` scopes the trajectory (one per negotiation
+    /// in the provider engine); bundle identity is verified by `Arc`
+    /// pointer equality, so a re-prepared bundle transparently rebuilds.
+    /// Callers should [`Formulator::forget_warm`] the key when the
+    /// negotiation ends.
+    pub fn formulate_warm(
+        &mut self,
+        key: u64,
+        tasks: &[Arc<PreparedTask>],
+        admission: &AdmissionControl,
+    ) -> Result<Formulated, FormulationError> {
+        self.warm_entry(key, tasks).formulate(admission)
+    }
+
+    /// Warm-started prefix-feasibility shedding: identical results to
+    /// [`Formulator::formulate_shedding`], with every prefix degradation
+    /// answered by a warm trajectory under `key`. The shedding structure
+    /// (dependency split, fully-degraded prefix sums, boundary probe) is
+    /// the same as [`formulate_shedding`]; only the inner degradation
+    /// runs are replayed.
+    pub fn formulate_shedding_warm(
+        &mut self,
+        key: u64,
+        tasks: &[Arc<PreparedTask>],
+        admission: &AdmissionControl,
+    ) -> Option<(usize, Formulated)> {
+        let n = tasks.len();
+        if n == 0 {
+            return None;
+        }
+        let k = tasks.iter().position(|t| !t.full_deps_ok).unwrap_or(n);
+        for c in ((k + 1)..=n).rev() {
+            if let Ok(f) = self.formulate_warm(key, &tasks[..c], admission) {
+                return Some((c, f));
+            }
+        }
+        let mut sums = Vec::with_capacity(k + 1);
+        let mut running = ResourceVector::ZERO;
+        sums.push(running);
+        for t in &tasks[..k] {
+            running += t.full_demand;
+            sums.push(running);
+        }
+        let c0 = (1..=k)
+            .rev()
+            .find(|&c| admission.schedulable_total(&sums[c], c));
+        let boundary = c0.map_or(1, |c| c + 1);
+        if boundary <= k {
+            if let Ok(f) = self.formulate_warm(key, &tasks[..boundary], admission) {
+                return Some((boundary, f));
+            }
+        }
+        let mut c = c0?;
+        loop {
+            if let Ok(f) = self.formulate_warm(key, &tasks[..c], admission) {
+                return Some((c, f));
+            }
+            if c == 1 {
+                return None;
+            }
+            c -= 1;
+        }
+    }
+
+    /// Drops every warm trajectory recorded under `key` (all bundle
+    /// lengths). Called by the provider engine when a negotiation ends.
+    pub fn forget_warm(&mut self, key: u64) {
+        self.warm.retain(|(k, _), _| *k != key);
+    }
+
+    /// Number of retained warm trajectories (tests, metrics).
+    pub fn warm_entries(&self) -> usize {
+        self.warm.len()
     }
 }
 

@@ -19,7 +19,7 @@ use qosc_netsim::{SimDuration, SimTime};
 use qosc_resources::{
     AdmissionControl, DemandModel, NodeLedger, ResourceVector, SchedulingPolicy, VectorHold,
 };
-use qosc_spec::TaskId;
+use qosc_spec::{QosSpec, ServiceRequest, TaskId};
 
 use crate::formulation::{local_reward, Formulator, LinearPenalty, PreparedTask, RewardModel};
 use crate::protocol::{
@@ -115,6 +115,52 @@ impl std::fmt::Debug for ProviderConfig {
             .field("strategy", &self.strategy)
             .field("chain", &self.chain)
             .finish()
+    }
+}
+
+/// Warm-trajectory key for a negotiation: organizer pid in the high
+/// word, per-organizer sequence in the low word — unique per negotiation.
+/// (A collision would only cost a trajectory rebuild, never a wrong
+/// result: warm entries verify bundle identity before replaying.)
+fn warm_key(nego: NegoId) -> u64 {
+    (u64::from(nego.organizer) << 32) | u64::from(nego.seq)
+}
+
+/// Batch-scoped prepare memo. CFPs in one batch repeatedly announce the
+/// same `(spec, request)` pairs — every task of a service, every service
+/// stamped from one template — and [`Formulator::prepare`] pays two
+/// `String` key allocations plus a structural verification per call. The
+/// memo answers repeats from a small vector keyed by name and verified by
+/// content equality against the batch's first occurrence, so repeated
+/// announcements cost one comparison and zero allocations. Resolution
+/// failures are memoised too (`None`), matching `prepare`'s per-call
+/// failure result.
+#[derive(Default)]
+struct PrepMemo<'a> {
+    entries: Vec<(&'a QosSpec, &'a ServiceRequest, Option<Arc<PreparedTask>>)>,
+}
+
+impl<'a> PrepMemo<'a> {
+    fn resolve(
+        &mut self,
+        formulator: &mut Formulator,
+        spec: &'a QosSpec,
+        request: &'a ServiceRequest,
+        model: &Arc<dyn DemandModel>,
+    ) -> Option<Arc<PreparedTask>> {
+        for (s, r, prepared) in &self.entries {
+            if s.name() == spec.name() && r.name == request.name {
+                if **s == *spec && **r == *request {
+                    return prepared.clone();
+                }
+                // Colliding name, different content: fall through to the
+                // formulator, whose cache verifies structurally.
+                break;
+            }
+        }
+        let p = formulator.prepare(spec, request, model);
+        self.entries.push((spec, request, p.clone()));
+        p
     }
 }
 
@@ -251,6 +297,37 @@ impl ProviderEngine {
         tasks: &[TaskAnnouncement],
         round: u32,
     ) -> Vec<Action> {
+        self.price_cfp(now, nego, tasks, round, &mut PrepMemo::default())
+    }
+
+    /// Prices a batch of concurrent deliveries in one pass, sharing one
+    /// prepare memo across every CFP in the batch — exactly equivalent to
+    /// calling [`ProviderEngine::on_message`] per entry in order (pinned
+    /// by the `provider_batch` property test), but announcements repeated
+    /// across the batch are resolved and verified once. Non-CFP messages
+    /// are legal in the batch and take the normal path.
+    pub fn on_cfp_batch<'a>(&mut self, now: SimTime, batch: &[(Pid, &'a Msg)]) -> Vec<Action> {
+        let mut memo = PrepMemo::default();
+        let mut out = Vec::new();
+        for &(from, msg) in batch {
+            match msg {
+                Msg::CallForProposals { nego, tasks, round } => {
+                    out.extend(self.price_cfp(now, *nego, tasks, *round, &mut memo));
+                }
+                _ => out.extend(self.on_message(now, from, msg)),
+            }
+        }
+        out
+    }
+
+    fn price_cfp<'a>(
+        &mut self,
+        now: SimTime,
+        nego: NegoId,
+        tasks: &'a [TaskAnnouncement],
+        round: u32,
+        memo: &mut PrepMemo<'a>,
+    ) -> Vec<Action> {
         if !self.config.participate || tasks.is_empty() {
             return Vec::new();
         }
@@ -292,7 +369,8 @@ impl ProviderEngine {
             let Some(model) = self.demand_models.get(ann.spec.name()).cloned() else {
                 continue;
             };
-            let Some(task) = self.formulator.prepare(&ann.spec, &ann.request, &model) else {
+            let Some(task) = memo.resolve(&mut self.formulator, &ann.spec, &ann.request, &model)
+            else {
                 continue;
             };
             prepared.push(Prepared { ann, task });
@@ -313,9 +391,16 @@ impl ProviderEngine {
                 // The engine finds that subset from the prefix-summed
                 // fully-degraded demands, so shedding costs one admission
                 // test per dropped task instead of a full degradation.
+                // Warm-started per negotiation: later rounds (and repeated
+                // capacities under contention) replay the recorded
+                // degradation trajectory instead of re-running it; the
+                // trajectory is dropped again in `on_release`.
                 let admission = AdmissionControl::new(self.config.policy, self.ledger.available());
-                let refs: Vec<&PreparedTask> = prepared.iter().map(|p| p.task.as_ref()).collect();
-                let Some((_, outcome)) = self.formulator.formulate_shedding(&refs, &admission)
+                let bundle: Vec<Arc<PreparedTask>> =
+                    prepared.iter().map(|p| Arc::clone(&p.task)).collect();
+                let Some((_, outcome)) =
+                    self.formulator
+                        .formulate_shedding_warm(warm_key(nego), &bundle, &admission)
                 else {
                     return Vec::new();
                 };
@@ -548,6 +633,9 @@ impl ProviderEngine {
         }
         self.active.remove(&nego);
         self.heartbeat_armed.remove(&nego);
+        // The negotiation is over: its warm degradation trajectories will
+        // never be replayed again.
+        self.formulator.forget_warm(warm_key(nego));
         Vec::new()
     }
 }

@@ -280,6 +280,29 @@ impl CoalitionNode {
         out
     }
 
+    /// Routes a burst of same-instant deliveries through the provider's
+    /// batched pricing path ([`ProviderEngine::on_cfp_batch`]): exactly
+    /// equivalent to delivering each message in order, but announcements
+    /// repeated across the batch's CFPs are resolved and compiled once.
+    /// Bursts that are not all CFPs (or a node without a provider) fall
+    /// back to sequential delivery, so callers may hand over any
+    /// same-destination burst.
+    pub fn on_message_batch(&mut self, now: SimTime, batch: &[(Pid, &Msg)]) -> Vec<Action> {
+        let all_cfps = batch
+            .iter()
+            .all(|(_, m)| matches!(m, Msg::CallForProposals { .. }));
+        if !all_cfps || self.provider.is_none() || batch.len() <= 1 {
+            let mut out = Vec::new();
+            for &(from, msg) in batch {
+                out.extend(self.on_message(now, from, msg));
+            }
+            return out;
+        }
+        let p = self.provider.as_mut().expect("checked above");
+        let actions = p.on_cfp_batch(now, batch);
+        self.absorb_local(now, actions)
+    }
+
     fn start_next_service(&mut self, now: SimTime) -> Vec<Action> {
         if self.pending.is_empty() {
             return Vec::new();
@@ -799,6 +822,9 @@ pub struct DirectRuntime {
     /// Installed when a [`FaultPlan`] with sampling content is set;
     /// `None` keeps the no-fault path allocation- and RNG-free.
     fault: Option<FaultSampler>,
+    /// Coalesce same-instant CFP deliveries per target node (see
+    /// [`DirectRuntime::set_cfp_batching`]).
+    cfp_batching: bool,
 }
 
 impl DirectRuntime {
@@ -810,6 +836,22 @@ impl DirectRuntime {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Enables (or disables) coalescing of same-instant CFP deliveries to
+    /// one node into a single batched pricing pass
+    /// ([`CoalitionNode::on_message_batch`]) — the open-loop load path:
+    /// when many negotiations kick off in the same instant, every
+    /// provider hears all their CFPs back-to-back, and batching prepares
+    /// the repeated announcements once instead of once per negotiation.
+    ///
+    /// Off by default. Batching preserves each node's own delivery order
+    /// (the engine outcome per node is pinned identical by the
+    /// `provider_batch` property test) but it *does* regroup
+    /// same-timestamp deliveries across nodes, so the event-for-event
+    /// `runtime_equivalence` pin only applies with batching off.
+    pub fn set_cfp_batching(&mut self, on: bool) {
+        self.cfp_batching = on;
     }
 
     fn push(&mut self, at: SimTime, kind: DirectKind) {
@@ -971,12 +1013,53 @@ impl Runtime for DirectRuntime {
             self.now = ev.at;
             match ev.kind {
                 DirectKind::Deliver { from, to, msg } => {
-                    let actions = self
-                        .nodes
-                        .get_mut(&to)
-                        .map(|node| node.on_message(ev.at, from, &msg))
-                        .unwrap_or_default();
-                    self.apply(to, actions);
+                    if self.cfp_batching && matches!(&*msg, Msg::CallForProposals { .. }) {
+                        // Coalesce every same-instant CFP delivery bound
+                        // for the same node. Queued same-time events all
+                        // predate anything the batch will push (their seqs
+                        // are lower), so draining them here and re-queueing
+                        // the non-matching ones preserves their order.
+                        let mut batch: Vec<(Pid, Arc<Msg>)> = vec![(from, msg)];
+                        let mut rest: Vec<DirectEvent> = Vec::new();
+                        while self.heap.peek().is_some_and(|e| e.at == ev.at) {
+                            let e = self.heap.pop().expect("peeked");
+                            match e.kind {
+                                DirectKind::Deliver {
+                                    from,
+                                    to: target,
+                                    msg,
+                                } if target == to
+                                    && matches!(&*msg, Msg::CallForProposals { .. }) =>
+                                {
+                                    batch.push((from, msg));
+                                }
+                                kind => rest.push(DirectEvent {
+                                    at: e.at,
+                                    seq: e.seq,
+                                    kind,
+                                }),
+                            }
+                        }
+                        for e in rest {
+                            self.heap.push(e);
+                        }
+                        n += batch.len() as u64 - 1;
+                        let refs: Vec<(Pid, &Msg)> =
+                            batch.iter().map(|(f, m)| (*f, &**m)).collect();
+                        let actions = self
+                            .nodes
+                            .get_mut(&to)
+                            .map(|node| node.on_message_batch(ev.at, &refs))
+                            .unwrap_or_default();
+                        self.apply(to, actions);
+                    } else {
+                        let actions = self
+                            .nodes
+                            .get_mut(&to)
+                            .map(|node| node.on_message(ev.at, from, &msg))
+                            .unwrap_or_default();
+                        self.apply(to, actions);
+                    }
                 }
                 DirectKind::Timer { node, token } => {
                     let Some((nego, kind)) = decode_timer(token) else {

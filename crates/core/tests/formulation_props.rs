@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use qosc_core::{
     formulate, formulate_prepared, formulate_reference, formulate_shedding, FormulationError,
-    LinearPenalty, PreparedTask, TaskInput,
+    Formulator, LinearPenalty, PreparedTask, TaskInput,
 };
 use qosc_resources::{
     AdmissionControl, DemandModel, DemandTerm, Feature, LinearDemandModel, ResourceKind,
@@ -246,5 +246,54 @@ proptest! {
         let refs: Vec<&PreparedTask> = prepared.iter().collect();
         let new = formulate_shedding(&refs, &adm);
         prop_assert_eq!(new, old);
+    }
+
+    /// Warm-started formulation is bit-identical to the cold prepared
+    /// path. One retained trajectory serves a random *sequence* of
+    /// capacities against the same key, which exercises all three warm
+    /// regimes: prefix replay (capacity grew), in-place extension
+    /// (capacity shrank) and re-replay after extension — each must equal
+    /// a from-scratch cold formulation, reward bits included.
+    #[test]
+    fn warm_start_matches_cold_path(
+        seed in 0u64..(1 << 48), tasks in 1usize..=4,
+        cpus in proptest::collection::vec(0.0f64..60.0, 1..6),
+    ) {
+        let world = random_world(seed, tasks, false);
+        let prepared: Vec<Arc<PreparedTask>> =
+            prepared_of(&world).into_iter().map(Arc::new).collect();
+        let refs: Vec<&PreparedTask> = prepared.iter().map(Arc::as_ref).collect();
+        let mut formulator = Formulator::new(Arc::new(LinearPenalty::default()));
+        for cpu in cpus {
+            let adm = admission(cpu);
+            let cold = formulate_prepared(&refs, &adm);
+            let warm = formulator.formulate_warm(7, &prepared, &adm);
+            prop_assert_eq!(&warm, &cold);
+        }
+        prop_assert_eq!(formulator.warm_entries(), 1);
+        formulator.forget_warm(7);
+        prop_assert_eq!(formulator.warm_entries(), 0);
+    }
+
+    /// Warm-started prefix shedding returns exactly what the stateless
+    /// [`formulate_shedding`] does — same surviving prefix, same
+    /// formulation — across a capacity sequence on one retained key
+    /// (monotone bundles, the shedding contract).
+    #[test]
+    fn warm_shedding_matches_cold_shedding(
+        seed in 0u64..(1 << 48), tasks in 1usize..=5,
+        cpus in proptest::collection::vec(0.0f64..40.0, 1..6),
+    ) {
+        let world = random_world(seed, tasks, true);
+        let prepared: Vec<Arc<PreparedTask>> =
+            prepared_of(&world).into_iter().map(Arc::new).collect();
+        let refs: Vec<&PreparedTask> = prepared.iter().map(Arc::as_ref).collect();
+        let mut formulator = Formulator::new(Arc::new(LinearPenalty::default()));
+        for cpu in cpus {
+            let adm = admission(cpu);
+            let cold = formulate_shedding(&refs, &adm);
+            let warm = formulator.formulate_shedding_warm(9, &prepared, &adm);
+            prop_assert_eq!(warm, cold);
+        }
     }
 }

@@ -2,9 +2,10 @@
 //! concurrent negotiations from different organizers, determinism.
 
 use qosc_core::NegoEvent;
+use qosc_load::PoissonArrivals;
 use qosc_netsim::SimTime;
 use qosc_system_tests::dense_scenario;
-use qosc_workloads::{AppTemplate, PoissonArrivals, Scenario, ScenarioConfig};
+use qosc_workloads::{AppTemplate, Scenario, ScenarioConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 

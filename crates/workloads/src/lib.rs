@@ -8,19 +8,21 @@
 //!   (surveillance §3.1, video conferencing §1, voice, transcoding §7),
 //!   each with spec, preference-ordered request, demand model and payload
 //!   distribution.
-//! * [`PoissonArrivals`] — dynamic request arrivals (§5).
 //! * [`Scenario`] / [`ScenarioConfig`] — assembled DES runs: population +
 //!   geometry + mobility + engines, ready for `submit` and `run_until`.
+//!
+//! Dynamic request arrivals (§5's Poisson processes, piecewise rate
+//! curves, thinning) moved to the open-loop load engine in `qosc-load`,
+//! which layers arrival sampling and saturation sweeps on top of the
+//! scenarios assembled here.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod apps;
-mod arrivals;
 mod population;
 mod scenario;
 
 pub use apps::{transcode_demand_model, AppTemplate};
-pub use arrivals::PoissonArrivals;
 pub use population::PopulationConfig;
 pub use scenario::{pedestrian, Backend, Scenario, ScenarioConfig};

@@ -32,6 +32,11 @@ pub enum Backend {
     /// The zero-latency in-memory runtime: no geometry (full
     /// connectivity), the fast path for tests and benches.
     Direct,
+    /// [`Backend::Direct`] with same-instant CFP deliveries coalesced
+    /// per provider into one batched pricing pass
+    /// (`DirectRuntime::set_cfp_batching`) — the open-loop load-engine
+    /// path, where many negotiations kick off in the same instant.
+    DirectBatched,
     /// The live threaded actor transport: wall-clock timers, full
     /// connectivity through the process-wide directory.
     Actor,
@@ -139,6 +144,11 @@ impl ScenarioConfig {
         let mut rt: Box<dyn Runtime> = match backend {
             Backend::Des => return Box::new(Scenario::build(self).runtime),
             Backend::Direct => Box::new(DirectRuntime::new()),
+            Backend::DirectBatched => {
+                let mut direct = DirectRuntime::new();
+                direct.set_cfp_batching(true);
+                Box::new(direct)
+            }
             Backend::Actor => Box::new(ActorRuntime::new()),
         };
         for node in self.population_nodes() {
