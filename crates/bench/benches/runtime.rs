@@ -46,7 +46,7 @@ fn bench_runtime_backends(c: &mut Criterion) {
                 Backend::Direct => "direct_dense",
                 Backend::DirectBatched => "direct_batched_dense",
                 Backend::Des => "des_dense",
-                Backend::Actor => unreachable!(),
+                Backend::DesSharded { .. } | Backend::Actor => unreachable!(),
             };
             g.bench_with_input(BenchmarkId::new(name, nodes), &backend, |b, &backend| {
                 let mut seed = 0u64;

@@ -22,10 +22,11 @@
 //! * [`select_winners`] — winner selection with the paper's three-level
 //!   tie-break (evaluation value ≻ communication cost ≻ distinct members),
 //!   fully configurable for ablations ([`TieBreak`]).
-//! * [`runtime`] — one execution API, three backends: the engines run
-//!   unmodified on the deterministic DES ([`DesRuntime`]), the live
-//!   threaded actor transport ([`ActorRuntime`]) or the zero-latency
-//!   in-memory fast path ([`DirectRuntime`]).
+//! * [`runtime`] — one execution API, four backends: the engines run
+//!   unmodified on the deterministic DES ([`DesRuntime`]), its
+//!   region-partitioned parallel sibling ([`DesShardedRuntime`]), the
+//!   live threaded actor transport ([`ActorRuntime`]) or the
+//!   zero-latency in-memory fast path ([`DirectRuntime`]).
 //!
 //! ## Quick start
 //!
@@ -110,7 +111,8 @@ pub use protocol::{
 pub use provider::{ProposalStrategy, ProviderConfig, ProviderEngine};
 pub use runtime::{
     dissolve_token, kickoff_token, single_organizer_scenario, ActorRuntime, ActorWire,
-    CoalitionNode, DesRuntime, DirectRuntime, LoggedEvent, NodeEngine, Runtime, RuntimeError,
+    CoalitionNode, DesRuntime, DesShardedRuntime, DirectRuntime, LoggedEvent, NodeEngine, Runtime,
+    RuntimeError,
 };
 pub use snapshot::{digest_of, StableHasher, StateDigest};
 pub use strategy::{OrganizerComponent, OrganizerStrategy, ProviderComponent, ProviderStrategy};

@@ -7,7 +7,9 @@
 //!
 //! * [`DesRuntime`] — the deterministic discrete-event simulator of
 //!   `qosc-netsim`: geometry, latency, loss, mobility, failures. The
-//!   backend every experiment sweep uses.
+//!   backend every experiment sweep uses. [`DesShardedRuntime`] is the
+//!   same semantics on the region-partitioned parallel simulator, for
+//!   large node counts.
 //! * [`DirectRuntime`] — a zero-latency in-memory event loop (FIFO message
 //!   queue + timer wheel, no geometry, full connectivity). The fast path
 //!   for tests, property checks and benches; at zero network latency it is
@@ -106,8 +108,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use qosc_actors::{Actor, ActorCtx, ActorSystem, Addr, Directory};
 use qosc_netsim::{
-    Ctx, DeliveryFault, FaultPlan, FaultSampler, NetApp, NetStats, NodeId, SimDuration, SimTime,
-    Simulator,
+    Ctx, DeliveryFault, FaultPlan, FaultSampler, NetApp, NetStats, NodeId, ShardedSimulator,
+    SimDuration, SimTime, Simulator,
 };
 use qosc_spec::ServiceDef;
 
@@ -754,6 +756,254 @@ pub fn single_organizer_scenario(
     rt.submit(0, service, SimTime::ZERO + start)
         .expect("node 0 registered");
     rt
+}
+
+// ---------------------------------------------------------------------------
+// Sharded DES backend: region-partitioned conservative parallel simulation.
+// ---------------------------------------------------------------------------
+
+/// One shard's engine host: the [`CoalitionNode`]s of that shard's nodes
+/// plus its slice of the event log. Run events are tagged with the
+/// simulator's total-order key so per-shard logs merge into one
+/// deterministic sequence afterwards.
+#[derive(Default)]
+struct ShardHost {
+    nodes: BTreeMap<Pid, CoalitionNode>,
+    events: Vec<((SimTime, u32, u64), LoggedEvent)>,
+}
+
+impl ShardHost {
+    fn apply(&mut self, ctx: &mut Ctx<'_, Msg>, at: Pid, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Broadcast(msg) => {
+                    let bytes = msg.estimated_bytes();
+                    ctx.broadcast(NodeId(at), bytes, msg);
+                }
+                Action::Send { to, msg } => {
+                    let bytes = msg.estimated_bytes();
+                    ctx.unicast(NodeId(at), NodeId(to), bytes, msg);
+                }
+                Action::Timer { delay, token } => ctx.timer(NodeId(at), delay, token),
+                Action::Event(event) => self.events.push((
+                    ctx.order_key(),
+                    LoggedEvent {
+                        at: ctx.now,
+                        node: at,
+                        event,
+                    },
+                )),
+            }
+        }
+    }
+}
+
+impl NetApp<Msg> for ShardHost {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, at: NodeId, from: NodeId, msg: &Msg) {
+        let pid = at.0;
+        if let Some(node) = self.nodes.get_mut(&pid) {
+            let actions = node.on_message(ctx.now, from.0, msg);
+            self.apply(ctx, pid, actions);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, at: NodeId, token: u64) {
+        let Some((nego, kind)) = decode_timer(token) else {
+            return;
+        };
+        let pid = at.0;
+        if let Some(node) = self.nodes.get_mut(&pid) {
+            let actions = node.on_timer(ctx.now, nego, kind);
+            self.apply(ctx, pid, actions);
+        }
+    }
+}
+
+/// [`Runtime`] backend over the region-partitioned parallel simulator
+/// ([`ShardedSimulator`]): same geometry, latency, loss and failure
+/// semantics as [`DesRuntime`], with the event loop split across worker
+/// threads under a conservative-lookahead horizon protocol.
+///
+/// Engine hosting follows the partition: nodes registered before the
+/// first `run` are distributed into one host per shard, so a
+/// worker thread only ever touches its own shard's engines. The event
+/// log is merged across shards in total-order-key order after every run
+/// — at one worker it is identical, entry for entry, to what
+/// [`DesRuntime`] logs for the same scenario (pinned by the
+/// sharded-equivalence system test); at higher worker counts it is the
+/// same set of events in the same deterministic order for a given
+/// partition.
+pub struct DesShardedRuntime {
+    sim: ShardedSimulator<Msg>,
+    /// Nodes registered before the partition froze (pid order).
+    staged: BTreeMap<Pid, CoalitionNode>,
+    /// One host per shard once frozen.
+    hosts: Vec<ShardHost>,
+    /// Events emitted by `on_start`, before any simulator context exists.
+    prelude: Vec<LoggedEvent>,
+    /// Merged log: prelude + key-sorted run events; rebuilt after runs.
+    merged: Vec<LoggedEvent>,
+    frozen: bool,
+}
+
+impl DesShardedRuntime {
+    /// Wraps a prepared sharded simulator.
+    pub fn new(sim: ShardedSimulator<Msg>) -> Self {
+        Self {
+            sim,
+            staged: BTreeMap::new(),
+            hosts: Vec::new(),
+            prelude: Vec::new(),
+            merged: Vec::new(),
+            frozen: false,
+        }
+    }
+
+    /// The underlying simulator (positions, stats, radio, shard layout).
+    pub fn sim(&self) -> &ShardedSimulator<Msg> {
+        &self.sim
+    }
+
+    /// Mutable simulator access for DES-only controls (failure injection,
+    /// extra timers).
+    pub fn sim_mut(&mut self) -> &mut ShardedSimulator<Msg> {
+        &mut self.sim
+    }
+
+    /// The full network counters, merged across shards.
+    pub fn net_stats(&self) -> NetStats {
+        self.sim.stats()
+    }
+
+    /// Starts every engine (pid order, like [`DesRuntime`]) and
+    /// distributes the staged nodes into per-shard hosts. Runs once,
+    /// implied by the first `run`.
+    fn freeze(&mut self) {
+        if self.frozen {
+            return;
+        }
+        self.frozen = true;
+        let now = self.sim.now();
+        for (pid, node) in self.staged.iter_mut() {
+            for action in node.on_start(now) {
+                match action {
+                    Action::Timer { delay, token } => {
+                        self.sim.schedule_timer(NodeId(*pid), delay, token)
+                    }
+                    Action::Event(event) => self.prelude.push(LoggedEvent {
+                        at: now,
+                        node: *pid,
+                        event,
+                    }),
+                    // Same contract as the sequential DES backend: no
+                    // delivery context exists outside the event loop.
+                    Action::Broadcast(_) | Action::Send { .. } => unreachable!(
+                        "on_start must not emit messages directly; arm a zero-delay timer"
+                    ),
+                }
+            }
+        }
+        let shards = self.sim.shard_count();
+        self.hosts = (0..shards).map(|_| ShardHost::default()).collect();
+        for (pid, node) in std::mem::take(&mut self.staged) {
+            let q = self.sim.shard_of(NodeId(pid));
+            self.hosts[q].nodes.insert(pid, node);
+        }
+        self.merged = self.prelude.clone();
+    }
+
+    /// Rebuilds the merged event log: prelude first (startup precedes the
+    /// event loop), then every shard's entries sorted by total-order key.
+    /// Equal keys only arise within one handler invocation — one shard —
+    /// so the stable sort preserves their emission order.
+    fn rebuild_events(&mut self) {
+        let mut tagged: Vec<&((SimTime, u32, u64), LoggedEvent)> =
+            self.hosts.iter().flat_map(|h| h.events.iter()).collect();
+        tagged.sort_by_key(|(key, _)| *key);
+        self.merged.clear();
+        self.merged.extend(self.prelude.iter().cloned());
+        self.merged
+            .extend(tagged.into_iter().map(|(_, e)| e.clone()));
+    }
+
+    fn node_mut(&mut self, id: Pid) -> Option<&mut CoalitionNode> {
+        if self.staged.contains_key(&id) {
+            return self.staged.get_mut(&id);
+        }
+        self.hosts.iter_mut().find_map(|h| h.nodes.get_mut(&id))
+    }
+}
+
+impl Runtime for DesShardedRuntime {
+    fn backend_name(&self) -> &'static str {
+        "des-sharded"
+    }
+
+    fn add_node(&mut self, node: CoalitionNode) -> Result<(), RuntimeError> {
+        let id = node.id();
+        if self.staged.contains_key(&id) || self.hosts.iter().any(|h| h.nodes.contains_key(&id)) {
+            return Err(RuntimeError::DuplicateNode(id));
+        }
+        debug_assert!(
+            (id as usize) < self.sim.node_count(),
+            "register sim node {id} (geometry) before its engines"
+        );
+        if self.frozen {
+            let q = self.sim.shard_of(NodeId(id));
+            self.hosts[q].nodes.insert(id, node);
+        } else {
+            self.staged.insert(id, node);
+        }
+        Ok(())
+    }
+
+    fn submit(&mut self, node: Pid, service: ServiceDef, at: SimTime) -> Result<(), RuntimeError> {
+        let slot = self.node_mut(node).ok_or(RuntimeError::UnknownNode(node))?;
+        if slot.organizer.is_none() {
+            return Err(RuntimeError::NoOrganizer(node));
+        }
+        slot.queue_service_at(at, service);
+        let delay = at.since(self.sim.now());
+        self.sim
+            .schedule_timer(NodeId(node), delay, kickoff_token(node));
+        Ok(())
+    }
+
+    fn schedule_dissolve(&mut self, nego: NegoId, at: SimTime) -> Result<(), RuntimeError> {
+        if self.node_mut(nego.organizer).is_none() {
+            return Err(RuntimeError::UnknownNode(nego.organizer));
+        }
+        let delay = at.since(self.sim.now());
+        self.sim
+            .schedule_timer(NodeId(nego.organizer), delay, dissolve_token(nego));
+        Ok(())
+    }
+
+    fn run(&mut self, deadline: SimTime) -> u64 {
+        self.freeze();
+        let n = self.sim.run_until(&mut self.hosts, deadline);
+        self.rebuild_events();
+        n
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) -> bool {
+        self.sim.set_fault_plan(plan);
+        true
+    }
+
+    fn events(&self) -> &[LoggedEvent] {
+        &self.merged
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.sim.stats().messages_sent()
+    }
+
+    fn node(&self, id: Pid) -> Option<&CoalitionNode> {
+        self.staged
+            .get(&id)
+            .or_else(|| self.hosts.iter().find_map(|h| h.nodes.get(&id)))
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -176,6 +176,21 @@ impl FaultSampler {
         }
     }
 
+    /// Creates the per-node sampler stream for `node`: seeded from
+    /// `(plan.seed, node)` so each node draws an independent fault
+    /// stream regardless of how deliveries interleave across nodes.
+    /// Budgets (`max_*`) apply per stream. This is what the sharded
+    /// simulator (and, since the per-node RNG split, the sequential one)
+    /// uses so fault sampling is deterministic per node.
+    pub fn for_node(plan: FaultPlan, node: u32) -> Self {
+        Self {
+            plan,
+            rng: ChaCha8Rng::seed_from_u64(crate::sim::node_stream_seed(plan.seed, node)),
+            drops_done: 0,
+            duplicates_done: 0,
+        }
+    }
+
     /// The plan this sampler draws from.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan

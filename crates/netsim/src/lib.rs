@@ -21,10 +21,18 @@
 //! * [`NetStats`] — message/latency counters for the T1 experiment.
 //! * [`FaultPlan`] / [`FaultSampler`] — drop/duplicate/reorder fault
 //!   injection, sharing one vocabulary with the `qosc-mc` model checker.
+//! * [`ShardedSimulator`] — the same event loop partitioned into spatial
+//!   shards and run on worker threads under a conservative-lookahead
+//!   horizon protocol (see the [`shard`](crate::ShardedSimulator) docs).
 //!
-//! Determinism: all randomness flows through one seeded `ChaCha8Rng`, events
-//! are totally ordered by `(time, sequence)`, and the clock is integral —
-//! equal seeds give bit-identical traces (asserted by tests).
+//! Determinism: every node owns a private `ChaCha8Rng` stream seeded from
+//! `(run seed, node id)` (placement and mobility draw from a separate
+//! control stream), events are totally ordered by `(time, origin shard,
+//! sequence)` with keys assigned at schedule time, and the clock is
+//! integral — equal seeds give bit-identical traces on the sequential
+//! engine and on the sharded engine at any worker count that preserves
+//! the run shape (asserted by tests, including a sequential-vs-sharded
+//! bit-equality pin at one worker).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,6 +42,7 @@ mod geometry;
 mod grid;
 mod mobility;
 mod radio;
+mod shard;
 mod sim;
 mod stats;
 mod time;
@@ -43,6 +52,7 @@ pub use geometry::{Area, Point};
 pub use grid::NeighbourIndex;
 pub use mobility::{Mobility, MobilityState};
 pub use radio::RadioModel;
+pub use shard::ShardedSimulator;
 pub use sim::{Ctx, NetApp, NodeId, SimConfig, Simulator};
 pub use stats::NetStats;
 pub use time::{SimDuration, SimTime};

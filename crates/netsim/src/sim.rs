@@ -7,7 +7,21 @@
 //! through which they emit unicast/broadcast/timer commands. The simulator
 //! applies the commands after each handler returns, which keeps handlers
 //! free of borrow entanglement and makes every run bit-reproducible for a
-//! given seed (events are ordered by `(time, sequence-number)`).
+//! given seed. Events are totally ordered by `(time, origin shard,
+//! sequence number)`; the sequential simulator always stamps shard 0, so
+//! its order is the classic `(time, seq)` one, while the sharded engine
+//! ([`crate::ShardedSimulator`]) reuses the same key with real shard ids.
+//!
+//! Randomness is split into **per-node streams**: every node owns a
+//! `ChaCha8Rng` seeded from `(run seed, node id)`, and all draws made
+//! while handling an event anchored at node *n* — the handler's
+//! `ctx.rng`, radio loss draws for the messages it sends, fault-plan
+//! sampling — come from node *n*'s stream. A node's randomness therefore
+//! depends only on the sequence of events it handles, not on how events
+//! at *other* nodes interleave, which is what lets the sharded engine
+//! run regions concurrently without perturbing any draw. A separate
+//! control RNG (seeded from the run seed) drives placement
+//! ([`Simulator::add_node_random`]) and mobility ticks.
 //!
 //! # The zero-copy delivery plane
 //!
@@ -44,6 +58,13 @@ impl std::fmt::Display for NodeId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "n{}", self.0)
     }
+}
+
+/// Derives the seed of a node's private RNG stream from the run seed.
+/// Splitmix-style odd multiplier keeps neighbouring node ids far apart
+/// in seed space; `node + 1` keeps node 0 off the raw run seed.
+pub(crate) fn node_stream_seed(seed: u64, node: u32) -> u64 {
+    seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(node) + 1)
 }
 
 /// Simulation-wide configuration.
@@ -83,8 +104,17 @@ pub trait NetApp<M> {
     fn on_node_up(&mut self, _ctx: &mut Ctx<'_, M>, _node: NodeId) {}
 }
 
-enum EventKind<M> {
+/// Whether a delivery event originated as a unicast or as one copy of a
+/// broadcast fan-out; drives which [`NetStats`] counters it touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SendKind {
+    Unicast,
+    Broadcast,
+}
+
+pub(crate) enum EventKind<M> {
     Deliver {
+        kind: SendKind,
         src: NodeId,
         dst: NodeId,
         bytes: u64,
@@ -102,15 +132,28 @@ enum EventKind<M> {
     Up(NodeId),
 }
 
-struct Scheduled<M> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
+/// A heap entry. Events are totally ordered by `(at, shard, seq)`:
+/// `shard` is the shard that *scheduled* the event (always 0 in the
+/// sequential simulator) and `seq` its per-shard sequence number, both
+/// assigned at push time — so the order is a pure function of what was
+/// scheduled, never of heap internals or thread interleaving.
+pub(crate) struct Scheduled<M> {
+    pub(crate) at: SimTime,
+    pub(crate) shard: u32,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind<M>,
+}
+
+impl<M> Scheduled<M> {
+    /// The event's total-order key.
+    pub(crate) fn key(&self) -> (SimTime, u32, u64) {
+        (self.at, self.shard, self.seq)
+    }
 }
 
 impl<M> PartialEq for Scheduled<M> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key() == other.key()
     }
 }
 impl<M> Eq for Scheduled<M> {}
@@ -122,18 +165,18 @@ impl<M> PartialOrd for Scheduled<M> {
 impl<M> Ord for Scheduled<M> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
-struct NodeSlot {
-    pos: Point,
-    mobility: MobilityState,
-    up: bool,
+pub(crate) struct NodeSlot {
+    pub(crate) pos: Point,
+    pub(crate) mobility: MobilityState,
+    pub(crate) up: bool,
 }
 
 /// Commands an application handler may emit through [`Ctx`].
-enum Command<M> {
+pub(crate) enum Command<M> {
     Unicast {
         src: NodeId,
         dst: NodeId,
@@ -158,15 +201,28 @@ enum Command<M> {
 pub struct Ctx<'a, M> {
     /// Current simulated time.
     pub now: SimTime,
-    /// Deterministic per-run RNG, shared with the simulator.
+    /// The *anchor node's* deterministic RNG stream: the private
+    /// `ChaCha8Rng` of the node this event is anchored at (delivery
+    /// destination, timer owner, …), seeded from `(run seed, node id)`.
+    /// Draws here depend only on this node's own event sequence.
     pub rng: &'a mut ChaCha8Rng,
-    cmds: Vec<Command<M>>,
-    nodes: &'a [NodeSlot],
-    index: &'a NeighbourIndex,
-    radio: &'a RadioModel,
+    pub(crate) cmds: Vec<Command<M>>,
+    pub(crate) nodes: &'a [NodeSlot],
+    pub(crate) index: &'a NeighbourIndex,
+    pub(crate) radio: &'a RadioModel,
+    /// Total-order key of the event being handled.
+    pub(crate) key: (SimTime, u32, u64),
 }
 
 impl<'a, M> Ctx<'a, M> {
+    /// Total-order key `(time, origin shard, sequence)` of the event
+    /// currently being handled. Identical seeds give identical keys, on
+    /// the sequential and the sharded engine alike (the sequential one
+    /// always reports shard 0), so runtimes can tag log entries with it
+    /// and later merge per-shard logs into one deterministic order.
+    pub fn order_key(&self) -> (SimTime, u32, u64) {
+        self.key
+    }
     /// Sends `msg` from `src` to `dst` (single hop). Delivery, loss and
     /// latency are decided by the simulator from the topology at *send*
     /// time. Accepts an owned payload or an already-shared `Arc<M>`.
@@ -232,7 +288,11 @@ pub struct Simulator<M> {
     heap: BinaryHeap<Scheduled<M>>,
     seq: u64,
     now: SimTime,
+    /// Control RNG: node placement and mobility advancement only. All
+    /// event-handling draws come from the per-node `streams`.
     rng: ChaCha8Rng,
+    /// Per-node RNG streams, indexed by `NodeId`; see the module docs.
+    streams: Vec<ChaCha8Rng>,
     stats: NetStats,
     mobility_armed: bool,
     /// Spatial grid over the node positions; rebuilt on every mobility
@@ -247,9 +307,15 @@ pub struct Simulator<M> {
     cand_scratch: Vec<NodeId>,
     /// Reused handler command buffer (one per event otherwise).
     cmd_scratch: Vec<Command<M>>,
-    /// Probabilistic fault injection; `None` keeps the delivery path
-    /// bit-identical to a simulator without a fault layer.
-    fault: Option<FaultSampler>,
+    /// The installed fault plan, if it samples anything; kept so nodes
+    /// added after [`Simulator::set_fault_plan`] get samplers too.
+    fault_plan: Option<FaultPlan>,
+    /// Per-node fault samplers (parallel to `nodes` when a plan is
+    /// installed, empty otherwise); each seeded from `(plan.seed, node)`
+    /// so fault draws, like all other draws, are independent of how
+    /// events at different nodes interleave. An empty table keeps the
+    /// delivery path bit-identical to a simulator without a fault layer.
+    fault: Vec<FaultSampler>,
 }
 
 impl<M> Simulator<M> {
@@ -264,49 +330,31 @@ impl<M> Simulator<M> {
             seq: 0,
             now: SimTime::ZERO,
             rng,
+            streams: Vec::new(),
             stats: NetStats::default(),
             mobility_armed: false,
             index,
             bcast_scratch: Vec::new(),
             cand_scratch: Vec::new(),
             cmd_scratch: Vec::new(),
-            fault: None,
+            fault_plan: None,
+            fault: Vec::new(),
         }
     }
 
     /// Installs a [`FaultPlan`] whose drop/duplicate/reorder faults are
-    /// sampled on every subsequent delivery, from a dedicated RNG seeded
-    /// by `plan.seed`. A plan that samples nothing uninstalls the layer,
-    /// restoring the exact no-fault event stream.
+    /// sampled on every subsequent delivery, from per-node sampler
+    /// streams seeded by `(plan.seed, node)`. A plan that samples
+    /// nothing uninstalls the layer, restoring the exact no-fault event
+    /// stream.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.fault = plan.samples_anything().then(|| FaultSampler::new(plan));
-    }
-
-    /// Decides how many copies of a delivery to schedule and at what
-    /// times, consulting the fault sampler if one is installed. Returns
-    /// delivery times; an empty result means the message was dropped.
-    fn fault_delivery_times(&mut self, base_at: SimTime) -> [Option<SimTime>; 2] {
-        let Some(f) = self.fault.as_mut() else {
-            return [Some(base_at), None];
+        self.fault_plan = plan.samples_anything().then_some(plan);
+        self.fault = match self.fault_plan {
+            Some(p) => (0..self.nodes.len() as u32)
+                .map(|n| FaultSampler::for_node(p, n))
+                .collect(),
+            None => Vec::new(),
         };
-        let mut times = match f.on_delivery() {
-            DeliveryFault::Drop => {
-                self.stats.faults_dropped += 1;
-                [None, None]
-            }
-            DeliveryFault::None => [Some(base_at), None],
-            DeliveryFault::Duplicate => {
-                self.stats.faults_duplicated += 1;
-                [Some(base_at), Some(base_at)]
-            }
-        };
-        for slot in times.iter_mut().flatten() {
-            if let Some(jitter) = f.reorder() {
-                self.stats.faults_reordered += 1;
-                *slot += jitter;
-            }
-        }
-        times
     }
 
     /// Adds a node at `pos` with the given mobility; returns its id.
@@ -319,6 +367,14 @@ impl<M> Simulator<M> {
             mobility: MobilityState::new(mobility, pos),
             up: true,
         });
+        self.streams
+            .push(ChaCha8Rng::seed_from_u64(node_stream_seed(
+                self.config.seed,
+                id.0,
+            )));
+        if let Some(p) = self.fault_plan {
+            self.fault.push(FaultSampler::for_node(p, id.0));
+        }
         self.index.insert(id, pos);
         if mobile && !self.mobility_armed {
             self.mobility_armed = true;
@@ -443,10 +499,18 @@ impl<M> Simulator<M> {
     fn push(&mut self, at: SimTime, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq, kind });
+        self.heap.push(Scheduled {
+            at,
+            shard: 0,
+            seq,
+            kind,
+        });
     }
 
-    fn apply_commands(&mut self, cmds: &mut Vec<Command<M>>) {
+    /// Applies the commands a handler emitted. `anchor` is the node the
+    /// handled event was anchored at: its RNG stream and fault sampler
+    /// make every draw the sends below need.
+    fn apply_commands(&mut self, anchor: NodeId, cmds: &mut Vec<Command<M>>) {
         for cmd in cmds.drain(..) {
             match cmd {
                 Command::Unicast {
@@ -454,8 +518,10 @@ impl<M> Simulator<M> {
                     dst,
                     bytes,
                     msg,
-                } => self.submit_unicast(src, dst, bytes, msg),
-                Command::Broadcast { src, bytes, msg } => self.submit_broadcast(src, bytes, msg),
+                } => self.submit_unicast(anchor, src, dst, bytes, msg),
+                Command::Broadcast { src, bytes, msg } => {
+                    self.submit_broadcast(anchor, src, bytes, msg);
+                }
                 Command::Timer { node, delay, token } => {
                     let at = self.now + delay;
                     self.push(at, EventKind::Timer { node, token });
@@ -464,38 +530,36 @@ impl<M> Simulator<M> {
         }
     }
 
-    fn submit_unicast(&mut self, src: NodeId, dst: NodeId, bytes: u64, msg: Arc<M>) {
-        self.stats.unicasts_sent += 1;
-        let (Some(s), Some(d)) = (
-            self.nodes.get(src.0 as usize),
-            self.nodes.get(dst.0 as usize),
-        ) else {
-            self.stats.unicasts_unreachable += 1;
-            return;
-        };
-        if !s.up || !d.up {
-            self.stats.unicasts_unreachable += 1;
-            return;
+    fn submit_unicast(
+        &mut self,
+        anchor: NodeId,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        msg: Arc<M>,
+    ) {
+        let times = Medium {
+            radio: &self.config.radio,
+            nodes: &self.nodes,
+            index: &self.index,
         }
-        let dist = s.pos.distance(&d.pos);
-        if !self.config.radio.in_range(dist) {
-            self.stats.unicasts_unreachable += 1;
-            return;
-        }
-        if self.config.radio.drops(dist, &mut self.rng) {
-            self.stats.unicasts_lost += 1;
-            return;
-        }
-        let latency = self.config.radio.latency(bytes);
+        .plan_unicast(
+            &mut Draws {
+                rng: &mut self.streams[anchor.0 as usize],
+                fault: self.fault.get_mut(anchor.0 as usize),
+                stats: &mut self.stats,
+            },
+            src,
+            dst,
+            self.now,
+            bytes,
+        );
         let sent_at = self.now;
-        for at in self
-            .fault_delivery_times(sent_at + latency)
-            .into_iter()
-            .flatten()
-        {
+        for at in times.into_iter().flatten() {
             self.push(
                 at,
                 EventKind::Deliver {
+                    kind: SendKind::Unicast,
                     src,
                     dst,
                     bytes,
@@ -506,46 +570,38 @@ impl<M> Simulator<M> {
         }
     }
 
-    fn submit_broadcast(&mut self, src: NodeId, bytes: u64, msg: Arc<M>) {
-        self.stats.broadcasts_sent += 1;
-        let Some(s) = self.nodes.get(src.0 as usize) else {
-            return;
-        };
-        if !s.up {
-            return;
-        }
-        let src_pos = s.pos;
-        let latency = self.config.radio.latency(bytes);
-        // Candidates from the spatial index, sorted so the per-target
-        // loss draws (and delivery sequence numbers) happen in ascending
-        // id order — the order the full-table scan used to produce.
+    fn submit_broadcast(&mut self, anchor: NodeId, src: NodeId, bytes: u64, msg: Arc<M>) {
         let mut cands = std::mem::take(&mut self.cand_scratch);
-        self.index.candidates_into(src_pos, &mut cands);
-        cands.sort_unstable();
         let mut targets = std::mem::take(&mut self.bcast_scratch);
-        targets.clear();
-        targets.extend(
-            cands
-                .iter()
-                .filter(|&&c| c != src && self.nodes[c.0 as usize].up)
-                .map(|&c| (c, src_pos.distance(&self.nodes[c.0 as usize].pos)))
-                .filter(|(_, dist)| self.config.radio.in_range(*dist)),
-        );
+        Medium {
+            radio: &self.config.radio,
+            nodes: &self.nodes,
+            index: &self.index,
+        }
+        .collect_broadcast_targets(&mut self.stats, src, &mut cands, &mut targets);
         self.cand_scratch = cands;
+        let latency = self.config.radio.latency(bytes);
+        let sent_at = self.now;
         for &(dst, dist) in &targets {
-            if self.config.radio.drops(dist, &mut self.rng) {
-                self.stats.unicasts_lost += 1;
-                continue;
+            let times = Medium {
+                radio: &self.config.radio,
+                nodes: &self.nodes,
+                index: &self.index,
             }
-            let sent_at = self.now;
-            for at in self
-                .fault_delivery_times(sent_at + latency)
-                .into_iter()
-                .flatten()
-            {
+            .plan_broadcast_copy(
+                &mut Draws {
+                    rng: &mut self.streams[anchor.0 as usize],
+                    fault: self.fault.get_mut(anchor.0 as usize),
+                    stats: &mut self.stats,
+                },
+                dist,
+                sent_at + latency,
+            );
+            for at in times.into_iter().flatten() {
                 self.push(
                     at,
                     EventKind::Deliver {
+                        kind: SendKind::Broadcast,
                         src,
                         dst,
                         bytes,
@@ -564,23 +620,28 @@ impl<M> Simulator<M> {
     pub fn step<A: NetApp<M>>(&mut self, app: &mut A) -> Option<SimTime> {
         let ev = self.heap.pop()?;
         self.now = ev.at;
+        let key = ev.key();
         // Handlers run against a borrowed Ctx view of the node table and
         // fill the reused command buffer; commands are applied after the
         // handler returns and the buffer goes back into the scratch slot.
+        // `$anchor` is the node the event is anchored at: its RNG stream
+        // backs `ctx.rng` and every draw the emitted commands need.
         macro_rules! with_ctx {
-            (|$ctx:ident| $call:expr) => {{
+            ($anchor:expr, |$ctx:ident| $call:expr) => {{
+                let anchor: NodeId = $anchor;
                 let cmds = std::mem::take(&mut self.cmd_scratch);
                 let mut $ctx = Ctx {
                     now: self.now,
-                    rng: &mut self.rng,
+                    rng: &mut self.streams[anchor.0 as usize],
                     cmds,
                     nodes: &self.nodes,
                     index: &self.index,
                     radio: &self.config.radio,
+                    key,
                 };
                 $call;
                 let mut cmds = $ctx.cmds;
-                self.apply_commands(&mut cmds);
+                self.apply_commands(anchor, &mut cmds);
                 self.cmd_scratch = cmds;
             }};
         }
@@ -597,6 +658,7 @@ impl<M> Simulator<M> {
                 self.push(at, EventKind::MobilityTick);
             }
             EventKind::Deliver {
+                kind,
                 src,
                 dst,
                 bytes,
@@ -605,31 +667,38 @@ impl<M> Simulator<M> {
             } => {
                 // The destination may have died in flight.
                 if self.is_up(dst) {
-                    self.stats.unicasts_delivered += 1;
-                    self.stats.broadcast_deliveries += 1;
+                    match kind {
+                        SendKind::Unicast => self.stats.unicasts_delivered += 1,
+                        SendKind::Broadcast => self.stats.broadcast_deliveries += 1,
+                    }
                     let latency = self.now.since(sent_at);
                     self.stats.record_delivery(latency, bytes);
-                    with_ctx!(|ctx| app.on_message(&mut ctx, dst, src, &msg));
+                    with_ctx!(dst, |ctx| app.on_message(&mut ctx, dst, src, &msg));
                 } else {
-                    self.stats.unicasts_unreachable += 1;
+                    match kind {
+                        SendKind::Unicast => self.stats.unicasts_unreachable += 1,
+                        SendKind::Broadcast => self.stats.broadcasts_undelivered += 1,
+                    }
                 }
             }
             EventKind::Timer { node, token } => {
                 if self.is_up(node) {
-                    with_ctx!(|ctx| app.on_timer(&mut ctx, node, token));
+                    with_ctx!(node, |ctx| app.on_timer(&mut ctx, node, token));
                 }
             }
             EventKind::Down(node) => {
-                if let Some(s) = self.nodes.get_mut(node.0 as usize) {
-                    s.up = false;
+                if node.0 as usize >= self.nodes.len() {
+                    return Some(self.now);
                 }
-                with_ctx!(|ctx| app.on_node_down(&mut ctx, node));
+                self.nodes[node.0 as usize].up = false;
+                with_ctx!(node, |ctx| app.on_node_down(&mut ctx, node));
             }
             EventKind::Up(node) => {
-                if let Some(s) = self.nodes.get_mut(node.0 as usize) {
-                    s.up = true;
+                if node.0 as usize >= self.nodes.len() {
+                    return Some(self.now);
                 }
-                with_ctx!(|ctx| app.on_node_up(&mut ctx, node));
+                self.nodes[node.0 as usize].up = true;
+                with_ctx!(node, |ctx| app.on_node_up(&mut ctx, node));
             }
         }
         Some(self.now)
@@ -653,6 +722,148 @@ impl<M> Simulator<M> {
         }
         n
     }
+}
+
+/// Immutable view of the transmission medium — radio model, node table,
+/// spatial index — shared by the send paths of the sequential and the
+/// sharded engine. Having exactly one implementation of the loss / fault
+/// / fan-out decisions is what makes the workers=1 bit-equality pin
+/// between the two engines meaningful rather than aspirational.
+pub(crate) struct Medium<'a> {
+    pub(crate) radio: &'a RadioModel,
+    pub(crate) nodes: &'a [NodeSlot],
+    pub(crate) index: &'a NeighbourIndex,
+}
+
+/// Mutable draw state of the node anchoring the current event: its RNG
+/// stream, its fault sampler (if a plan is installed), and the stats
+/// block the engine is accumulating into.
+pub(crate) struct Draws<'a> {
+    pub(crate) rng: &'a mut ChaCha8Rng,
+    pub(crate) fault: Option<&'a mut FaultSampler>,
+    pub(crate) stats: &'a mut NetStats,
+}
+
+impl Medium<'_> {
+    /// Decides one unicast send at `now`: bumps the sent/unreachable/
+    /// lost counters, draws loss and faults from `draws`, and returns
+    /// the delivery times to schedule (none when the message dies).
+    pub(crate) fn plan_unicast(
+        &self,
+        draws: &mut Draws<'_>,
+        src: NodeId,
+        dst: NodeId,
+        now: SimTime,
+        bytes: u64,
+    ) -> [Option<SimTime>; 2] {
+        draws.stats.unicasts_sent += 1;
+        let (Some(s), Some(d)) = (
+            self.nodes.get(src.0 as usize),
+            self.nodes.get(dst.0 as usize),
+        ) else {
+            draws.stats.unicasts_unreachable += 1;
+            return [None, None];
+        };
+        if !s.up || !d.up {
+            draws.stats.unicasts_unreachable += 1;
+            return [None, None];
+        }
+        let dist = s.pos.distance(&d.pos);
+        if !self.radio.in_range(dist) {
+            draws.stats.unicasts_unreachable += 1;
+            return [None, None];
+        }
+        if self.radio.drops(dist, draws.rng) {
+            draws.stats.unicasts_lost += 1;
+            return [None, None];
+        }
+        fault_times(
+            draws.fault.as_deref_mut(),
+            now + self.radio.latency(bytes),
+            draws.stats,
+        )
+    }
+
+    /// Resolves a broadcast's fan-out: bumps `broadcasts_sent`, then
+    /// fills `targets` with the `(neighbour, distance)` pairs the copies
+    /// go to, in ascending id order (the order the per-target loss draws
+    /// and sequence numbers are consumed in). `cands` is the reused grid
+    /// candidate buffer. Leaves `targets` empty when `src` is missing or
+    /// down.
+    pub(crate) fn collect_broadcast_targets(
+        &self,
+        stats: &mut NetStats,
+        src: NodeId,
+        cands: &mut Vec<NodeId>,
+        targets: &mut Vec<(NodeId, f64)>,
+    ) {
+        stats.broadcasts_sent += 1;
+        targets.clear();
+        let Some(s) = self.nodes.get(src.0 as usize) else {
+            return;
+        };
+        if !s.up {
+            return;
+        }
+        let src_pos = s.pos;
+        self.index.candidates_into(src_pos, cands);
+        cands.sort_unstable();
+        targets.extend(
+            cands
+                .iter()
+                .filter(|&&c| c != src && self.nodes[c.0 as usize].up)
+                .map(|&c| (c, src_pos.distance(&self.nodes[c.0 as usize].pos)))
+                .filter(|(_, dist)| self.radio.in_range(*dist)),
+        );
+    }
+
+    /// Decides one broadcast copy at distance `dist`: draws loss (a lost
+    /// copy counts as `broadcasts_lost`) and faults, returning the
+    /// delivery times to schedule.
+    pub(crate) fn plan_broadcast_copy(
+        &self,
+        draws: &mut Draws<'_>,
+        dist: f64,
+        base_at: SimTime,
+    ) -> [Option<SimTime>; 2] {
+        if self.radio.drops(dist, draws.rng) {
+            draws.stats.broadcasts_lost += 1;
+            return [None, None];
+        }
+        fault_times(draws.fault.as_deref_mut(), base_at, draws.stats)
+    }
+}
+
+/// Expands one nominal delivery into its post-fault copies: `[None,
+/// None]` when dropped, one time normally, two on duplication, each
+/// possibly jittered by reordering. No sampler installed means exactly
+/// one on-time copy and zero randomness consumed.
+pub(crate) fn fault_times(
+    fault: Option<&mut FaultSampler>,
+    base_at: SimTime,
+    stats: &mut NetStats,
+) -> [Option<SimTime>; 2] {
+    let Some(f) = fault else {
+        return [Some(base_at), None];
+    };
+    let mut times = match f.on_delivery() {
+        DeliveryFault::Drop => {
+            stats.faults_dropped += 1;
+            [None, None]
+        }
+        DeliveryFault::None => [Some(base_at), None],
+        DeliveryFault::Duplicate => {
+            stats.faults_duplicated += 1;
+            [Some(base_at), Some(base_at)]
+        }
+    };
+    for slot in times.iter_mut().flatten() {
+        if let Some(jitter) = f.reorder() {
+            stats.faults_reordered += 1;
+            *slot += jitter;
+        }
+    }
+    times
 }
 
 #[cfg(test)]
@@ -861,6 +1072,84 @@ mod tests {
         sim.run_until(&mut Noop, SimTime(60_000_000)); // 60 s
         let after: Vec<_> = (0..12).map(|i| sim.neighbours(NodeId(i))).collect();
         assert_ne!(before, after, "60 s at 5-10 m/s must change neighbourhoods");
+    }
+
+    #[test]
+    fn broadcast_deliveries_do_not_inflate_unicast_counters() {
+        let (mut sim, a, _b) = two_node_sim(30.0);
+        sim.schedule_timer(a, SimDuration::millis(1), 1);
+        let mut app = Echo {
+            received: vec![],
+            reply: false,
+        };
+        sim.run_until(&mut app, SimTime(10_000_000));
+        let stats = sim.stats();
+        assert_eq!(stats.broadcast_deliveries, 1);
+        assert_eq!(stats.unicasts_sent, 0);
+        assert_eq!(stats.unicasts_delivered, 0);
+        assert_eq!(stats.unicast_delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn unicast_deliveries_do_not_touch_broadcast_counters() {
+        let (mut sim, a, b) = two_node_sim(30.0);
+        struct Once;
+        impl NetApp<u32> for Once {
+            fn on_message(&mut self, _: &mut Ctx<'_, u32>, _: NodeId, _: NodeId, _: &u32) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, u32>, at: NodeId, _: u64) {
+                ctx.unicast(at, NodeId(1), 50, 7);
+            }
+        }
+        let _ = b;
+        sim.schedule_timer(a, SimDuration::millis(1), 0);
+        sim.run_until(&mut Once, SimTime(10_000_000));
+        let stats = sim.stats();
+        assert_eq!(stats.unicasts_delivered, 1);
+        assert_eq!(stats.broadcast_deliveries, 0);
+        assert_eq!(stats.broadcasts_sent, 0);
+        assert!((stats.unicast_delivery_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_copy_to_node_dying_in_flight_counts_undelivered() {
+        let (mut sim, a, _b) = two_node_sim(30.0);
+        // Broadcast latency is ~2 ms; kill b at 1.5 ms, send at 1 ms.
+        sim.schedule_timer(a, SimDuration::millis(1), 1);
+        sim.schedule_down(NodeId(1), SimDuration::micros(1500));
+        let mut app = Echo {
+            received: vec![],
+            reply: false,
+        };
+        sim.run_until(&mut app, SimTime(10_000_000));
+        let stats = sim.stats();
+        assert_eq!(stats.broadcasts_undelivered, 1);
+        assert_eq!(stats.unicasts_unreachable, 0);
+        assert_eq!(stats.broadcast_deliveries, 0);
+    }
+
+    #[test]
+    fn lossy_broadcast_counts_broadcasts_lost() {
+        let mut sim: Simulator<u32> = Simulator::new(SimConfig {
+            area: Area::new(1000.0, 1000.0),
+            radio: RadioModel {
+                loss_floor: 1.0,
+                loss_at_edge: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let a = sim.add_node(Point::new(0.0, 0.0), Mobility::Static);
+        sim.add_node(Point::new(10.0, 0.0), Mobility::Static);
+        sim.schedule_timer(a, SimDuration::millis(1), 1);
+        let mut app = Echo {
+            received: vec![],
+            reply: false,
+        };
+        sim.run_until(&mut app, SimTime(10_000_000));
+        let stats = sim.stats();
+        assert_eq!(stats.broadcasts_lost, 1);
+        assert_eq!(stats.unicasts_lost, 0);
+        assert_eq!(stats.broadcast_deliveries, 0);
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct NetStats {
     pub broadcasts_sent: u64,
     /// Per-neighbour broadcast deliveries.
     pub broadcast_deliveries: u64,
+    /// Per-neighbour broadcast copies dropped by the loss model.
+    pub broadcasts_lost: u64,
+    /// Per-neighbour broadcast copies whose target died in flight.
+    pub broadcasts_undelivered: u64,
     /// Total payload bytes delivered (unicast + broadcast copies).
     pub bytes_delivered: u64,
     /// Deliveries dropped by the fault layer (not the radio loss model).
@@ -58,12 +62,38 @@ impl NetStats {
     }
 
     /// Delivery ratio over unicasts (1.0 when none were sent).
+    ///
+    /// Only genuine unicast deliveries count: broadcast copies keep their
+    /// own counters (`broadcast_deliveries`, `broadcasts_lost`,
+    /// `broadcasts_undelivered`), so this ratio is no longer inflated by
+    /// broadcast traffic.
     pub fn unicast_delivery_ratio(&self) -> f64 {
         if self.unicasts_sent == 0 {
             1.0
         } else {
             self.unicasts_delivered as f64 / self.unicasts_sent as f64
         }
+    }
+
+    /// Adds `other`'s counters into `self`. Every field is a sum (the
+    /// mean latency is carried as sum + sample count), so merging the
+    /// per-shard counters of a sharded run yields exactly the stats an
+    /// equivalent sequential run would have accumulated.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.unicasts_sent += other.unicasts_sent;
+        self.unicasts_delivered += other.unicasts_delivered;
+        self.unicasts_unreachable += other.unicasts_unreachable;
+        self.unicasts_lost += other.unicasts_lost;
+        self.broadcasts_sent += other.broadcasts_sent;
+        self.broadcast_deliveries += other.broadcast_deliveries;
+        self.broadcasts_lost += other.broadcasts_lost;
+        self.broadcasts_undelivered += other.broadcasts_undelivered;
+        self.bytes_delivered += other.bytes_delivered;
+        self.faults_dropped += other.faults_dropped;
+        self.faults_duplicated += other.faults_duplicated;
+        self.faults_reordered += other.faults_reordered;
+        self.latency_sum_us += other.latency_sum_us;
+        self.latency_samples += other.latency_samples;
     }
 }
 
@@ -86,6 +116,33 @@ mod tests {
         assert_eq!(s.mean_latency(), SimDuration::ZERO);
         assert_eq!(s.unicast_delivery_ratio(), 1.0);
         assert_eq!(s.messages_sent(), 0);
+    }
+
+    #[test]
+    fn merge_sums_everything_including_latency() {
+        let mut a = NetStats {
+            unicasts_sent: 2,
+            unicasts_delivered: 1,
+            broadcast_deliveries: 3,
+            broadcasts_lost: 1,
+            ..Default::default()
+        };
+        a.record_delivery(SimDuration::millis(2), 10);
+        let mut b = NetStats {
+            unicasts_sent: 1,
+            unicasts_delivered: 1,
+            broadcasts_undelivered: 2,
+            ..Default::default()
+        };
+        b.record_delivery(SimDuration::millis(4), 20);
+        a.merge(&b);
+        assert_eq!(a.unicasts_sent, 3);
+        assert_eq!(a.unicasts_delivered, 2);
+        assert_eq!(a.broadcast_deliveries, 3);
+        assert_eq!(a.broadcasts_lost, 1);
+        assert_eq!(a.broadcasts_undelivered, 2);
+        assert_eq!(a.bytes_delivered, 30);
+        assert_eq!(a.mean_latency(), SimDuration::millis(3));
     }
 
     #[test]

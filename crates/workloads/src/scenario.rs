@@ -11,11 +11,12 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use qosc_core::{
-    ActorRuntime, CoalitionNode, DesRuntime, DirectRuntime, LoggedEvent, Msg, OrganizerConfig,
-    OrganizerEngine, ProviderConfig, ProviderEngine, Runtime,
+    ActorRuntime, CoalitionNode, DesRuntime, DesShardedRuntime, DirectRuntime, LoggedEvent, Msg,
+    OrganizerConfig, OrganizerEngine, ProviderConfig, ProviderEngine, Runtime,
 };
 use qosc_netsim::{
-    Area, Mobility, NetStats, RadioModel, SimConfig, SimDuration, SimTime, Simulator,
+    Area, Mobility, NetStats, RadioModel, ShardedSimulator, SimConfig, SimDuration, SimTime,
+    Simulator,
 };
 use qosc_resources::{NodeProfile, ResourceKind};
 use qosc_spec::ServiceDef;
@@ -29,6 +30,15 @@ pub enum Backend {
     /// The deterministic DES (`qosc-netsim`): geometry, latency, loss,
     /// mobility. The backend every experiment sweep uses.
     Des,
+    /// The DES event loop sharded across `workers` threads
+    /// (region-partitioned conservative parallel simulation). Identical
+    /// geometry and semantics to [`Backend::Des`]; at `workers: 1` the
+    /// run is bit-equal to it.
+    DesSharded {
+        /// Worker thread count (≥ 1; the shard count is additionally
+        /// capped by the node count).
+        workers: usize,
+    },
     /// The zero-latency in-memory runtime: no geometry (full
     /// connectivity), the fast path for tests and benches.
     Direct,
@@ -143,6 +153,7 @@ impl ScenarioConfig {
     pub fn build_backend(&self, backend: Backend) -> Box<dyn Runtime> {
         let mut rt: Box<dyn Runtime> = match backend {
             Backend::Des => return Box::new(Scenario::build(self).runtime),
+            Backend::DesSharded { workers } => return Box::new(self.build_sharded(workers)),
             Backend::Direct => Box::new(DirectRuntime::new()),
             Backend::DirectBatched => {
                 let mut direct = DirectRuntime::new();
@@ -155,6 +166,38 @@ impl ScenarioConfig {
             rt.add_node(node).expect("sequential ids are unique");
         }
         rt
+    }
+
+    /// Builds the scenario on the sharded parallel DES, with exactly the
+    /// geometry, population and seed derivation of [`Scenario::build`] —
+    /// so a sharded run is comparable, event for event, with a sequential
+    /// DES run of the same config.
+    pub fn build_sharded(&self, workers: usize) -> DesShardedRuntime {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x5eed_cafe);
+        let mut sim: ShardedSimulator<Msg> = ShardedSimulator::new(
+            SimConfig {
+                area: self.area,
+                radio: self.radio.clone(),
+                seed: self.seed,
+                ..Default::default()
+            },
+            workers,
+        );
+        let profiles = self.population.sample_many(self.nodes, &mut rng);
+        for profile in profiles.iter() {
+            let mobility = match (&self.mobility, profile.class.battery_powered()) {
+                (Some(m), true) => m.clone(),
+                _ => Mobility::Static,
+            };
+            sim.add_node(self.area.sample(&mut rng), mobility);
+        }
+        let mut runtime = DesShardedRuntime::new(sim);
+        for (i, profile) in profiles.iter().enumerate() {
+            runtime
+                .add_node(self.coalition_node(i as u32, profile))
+                .expect("sequential ids are unique");
+        }
+        runtime
     }
 }
 

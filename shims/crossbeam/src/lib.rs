@@ -1,7 +1,8 @@
-//! Offline shim for `crossbeam`: only the `channel` module, backed by
-//! `std::sync::mpsc`. The workspace uses unbounded channels exclusively,
-//! where the mpsc semantics (non-blocking send, FIFO per sender pair)
-//! match crossbeam's.
+//! Offline shim for `crossbeam`: the `channel` module backed by
+//! `std::sync::mpsc`, `thread::scope` backed by `std::thread::scope`,
+//! and `utils::CachePadded`. The workspace uses unbounded channels
+//! exclusively, where the mpsc semantics (non-blocking send, FIFO per
+//! sender pair) match crossbeam's.
 
 pub mod channel {
     //! MPSC channels with the `crossbeam::channel` API surface used by
@@ -90,5 +91,197 @@ pub mod channel {
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
         (Sender(tx), Receiver(rx))
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` API surface used by
+    //! this workspace: [`scope`] hands the closure a [`Scope`] whose
+    //! `spawn` passes the scope back into the child (so children can
+    //! spawn siblings), handles expose `join() -> thread::Result<T>`,
+    //! and a panic in an *unjoined* child surfaces as `Err` from
+    //! [`scope`] instead of unwinding through the caller. Backed by
+    //! `std::thread::scope`.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    pub use std::thread::Result;
+
+    /// A scope handle: spawns threads that may borrow from the
+    /// environment (`'env`) and are all joined before [`scope`] returns.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope itself so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread; dropping it detaches (the scope still
+    /// joins the thread before returning).
+    #[derive(Debug)]
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result; `Err` carries
+        /// the panic payload if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; returns once every spawned thread has
+    /// finished. `Ok(r)` carries the closure's result; `Err` carries a
+    /// panic payload when the closure or an unjoined child panicked
+    /// (children whose handles were `join`ed report their panics through
+    /// `join` instead, and do not fail the scope).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub mod utils {
+    //! Miscellany from `crossbeam-utils` used by this workspace.
+
+    /// Pads and aligns `T` to a 64-byte cache line so adjacent values in
+    /// an array never share a line (the false-sharing guard
+    /// `crossbeam_utils::CachePadded` provides; 64 bytes covers x86-64
+    /// and mainstream aarch64 cores).
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(64))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in cache-line padding.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Unwraps the padded value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            Self::new(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_propagates_results_and_borrows_env() {
+        let data = [1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let (left, right) = data.split_at(2);
+            let a = s.spawn(|_| left.iter().sum::<u64>());
+            let b = s.spawn(|_| right.iter().sum::<u64>());
+            a.join().unwrap() + b.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn joined_child_panic_reaches_join_not_scope() {
+        let result = thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        });
+        // The scope itself succeeds; the panic is the join's result.
+        let join_result = result.unwrap();
+        let payload = join_result.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+    }
+
+    #[test]
+    fn unjoined_child_panic_fails_the_scope() {
+        let result = thread::scope(|s| {
+            s.spawn(|_| panic!("lost"));
+            42u32
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn children_can_spawn_siblings_through_the_scope_arg() {
+        let n = thread::scope(|s| {
+            let outer = s.spawn(|s| {
+                let inner = s.spawn(|_| 21u32);
+                inner.join().unwrap() * 2
+            });
+            outer.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn channels_cross_scoped_threads() {
+        let (tx, rx) = channel::unbounded();
+        let received = thread::scope(|s| {
+            let producer = tx.clone();
+            s.spawn(move |_| {
+                for i in 0..10u32 {
+                    producer.send(i).unwrap();
+                }
+            });
+            drop(tx);
+            let consumer = s.spawn(move |_| rx.iter().collect::<Vec<_>>());
+            consumer.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(received, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cache_padded_is_line_aligned_and_transparent() {
+        use utils::CachePadded;
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 64);
+        let mut cell = CachePadded::new(7u64);
+        *cell += 1;
+        assert_eq!(*cell, 8);
+        assert_eq!(cell.into_inner(), 8);
+        let padded: Vec<CachePadded<u64>> = (0..4).map(CachePadded::from).collect();
+        assert_eq!(*padded[3], 3);
     }
 }
