@@ -62,6 +62,11 @@ pub struct OrganizerConfig {
     pub eval: EvalConfig,
     /// Enable operation-phase heartbeat monitoring.
     pub monitor: bool,
+    /// Piggy-back [`Msg::LeaseRenew`] unicasts on every heartbeat check so
+    /// members with a `commit_ttl` keep their leases alive while the
+    /// organizer is reachable. Off by default: leases only matter when the
+    /// provider side arms them (see `ProviderConfig::commit_ttl`).
+    pub renew_leases: bool,
     /// Pluggable decision chain consulted when filtering candidates,
     /// selecting winners and deciding retry vs give-up; empty = exact
     /// pre-chain behaviour (see [`crate::strategy`]).
@@ -79,6 +84,7 @@ impl Default for OrganizerConfig {
             tiebreak: TieBreak::default(),
             eval: EvalConfig::default(),
             monitor: true,
+            renew_leases: false,
             chain: OrganizerStrategy::default(),
         }
     }
@@ -344,8 +350,18 @@ impl OrganizerEngine {
                 from: sender,
                 proposals,
             } => self.on_proposal(*nego, *sender, proposals),
-            Msg::Accept { nego, task, from } => self.on_accept(now, *nego, *task, *from),
-            Msg::Decline { nego, task, from } => self.on_decline(now, *nego, *task, *from),
+            Msg::Accept {
+                nego,
+                task,
+                from,
+                round,
+            } => self.on_accept(now, *nego, *task, *from, *round),
+            Msg::Decline {
+                nego,
+                task,
+                from,
+                round,
+            } => self.on_decline(now, *nego, *task, *from, *round),
             Msg::Heartbeat { nego, task, from } => {
                 self.on_heartbeat(now, *nego, *task, *from);
                 Vec::new()
@@ -364,6 +380,7 @@ impl OrganizerEngine {
             TimerKind::ProposalDeadline => self.on_proposal_deadline(now, nego),
             TimerKind::AwardDeadline => self.on_award_deadline(now, nego),
             TimerKind::HeartbeatCheck => self.on_heartbeat_check(now, nego),
+            TimerKind::ReAnnounce => self.on_re_announce(nego),
             _ => Vec::new(),
         }
     }
@@ -437,7 +454,14 @@ impl OrganizerEngine {
         for (task, node) in &selection.assignments {
             n.pending.insert(*task, *node);
             n.metrics.awards_sent += 1;
-            actions.push(Action::send(*node, Msg::Award { nego, task: *task }));
+            actions.push(Action::send(
+                *node,
+                Msg::Award {
+                    nego,
+                    task: *task,
+                    round: n.round,
+                },
+            ));
         }
         // Tasks with no candidates stay open for the next round.
         n.open = selection.unassigned.iter().copied().collect();
@@ -453,10 +477,23 @@ impl OrganizerEngine {
         actions
     }
 
-    fn on_accept(&mut self, now: SimTime, nego: NegoId, task: TaskId, from: Pid) -> Vec<Action> {
+    fn on_accept(
+        &mut self,
+        now: SimTime,
+        nego: NegoId,
+        task: TaskId,
+        from: Pid,
+        round: u32,
+    ) -> Vec<Action> {
         let Some(n) = self.negotiations.get_mut(&nego) else {
             return Vec::new();
         };
+        if round != n.round {
+            // An answer to a superseded award: the provider has (or will)
+            // release that grant on seeing the fresh round's CFP, so
+            // recording it would orphan the assignment.
+            return Vec::new();
+        }
         if n.pending.get(&task) != Some(&from) {
             return Vec::new(); // stale or bogus accept
         }
@@ -484,10 +521,20 @@ impl OrganizerEngine {
         Vec::new()
     }
 
-    fn on_decline(&mut self, now: SimTime, nego: NegoId, task: TaskId, from: Pid) -> Vec<Action> {
+    fn on_decline(
+        &mut self,
+        now: SimTime,
+        nego: NegoId,
+        task: TaskId,
+        from: Pid,
+        round: u32,
+    ) -> Vec<Action> {
         let Some(n) = self.negotiations.get_mut(&nego) else {
             return Vec::new();
         };
+        if round != n.round {
+            return Vec::new(); // answer to a superseded award
+        }
         if n.pending.get(&task) != Some(&from) {
             return Vec::new();
         }
@@ -525,6 +572,20 @@ impl OrganizerEngine {
         self.finish_round(now, nego)
     }
 
+    /// Fires when a backoff delay elapses: issues the already-advanced
+    /// round's CFP. Guarded on `Collecting` so a dissolve (or any other
+    /// state change) during the backoff window makes the timer inert.
+    fn on_re_announce(&mut self, nego: NegoId) -> Vec<Action> {
+        let config = self.config.clone();
+        let Some(n) = self.negotiations.get_mut(&nego) else {
+            return Vec::new();
+        };
+        if n.state != State::Collecting || n.open.is_empty() {
+            return Vec::new();
+        }
+        Self::issue_cfp(&config, nego, n)
+    }
+
     /// Closes the current round: retries unplaced tasks in a new round if
     /// the budget allows, otherwise settles the negotiation.
     fn finish_round(&mut self, now: SimTime, nego: NegoId) -> Vec<Action> {
@@ -541,7 +602,27 @@ impl OrganizerEngine {
                 open_tasks: n.open.len(),
             });
         if retry {
+            // A backoff-aware chain delays the retry CFP instead of
+            // re-announcing immediately — under a network partition an
+            // immediate CFP just burns the round budget into the void.
+            // The delay is chosen from the *closing* round's context, the
+            // round counter advances now, and the CFP itself is issued by
+            // the `ReAnnounce` timer (all backends deliver timers even
+            // across partitions, so the retry survives the cut).
+            let backoff = config.chain.backoff_delay(&RetryContext {
+                round: n.round,
+                max_rounds: config.max_rounds,
+                open_tasks: n.open.len(),
+            });
             n.round += 1;
+            if let Some(delay) = backoff.filter(|d| *d > SimDuration::ZERO) {
+                n.state = State::Collecting;
+                n.candidates.clear();
+                return vec![Action::Timer {
+                    delay,
+                    token: encode_timer(nego, TimerKind::ReAnnounce),
+                }];
+            }
             return Self::issue_cfp(&config, nego, n);
         }
         // Settle: whatever is still open is given up.
@@ -616,6 +697,20 @@ impl OrganizerEngine {
             }
         }
         let mut actions = Vec::new();
+        // Lease keep-alive piggy-backs on the heartbeat check: every
+        // distinct operating member gets one renewal per check period,
+        // so commit leases (`ProviderConfig::commit_ttl`) only expire on
+        // members the organizer can no longer reach.
+        if config.renew_leases {
+            let mut members: Vec<Pid> = n.assignments.values().copied().collect();
+            members.sort_unstable();
+            members.dedup();
+            for m in members {
+                if m != self.id {
+                    actions.push(Action::send(m, Msg::LeaseRenew { nego }));
+                }
+            }
+        }
         // Reconfiguration is a retry decision too: the chain decides
         // whether the lost tasks get re-auctioned or stay down.
         let reconfigure = !failed_nodes.is_empty()
@@ -848,6 +943,7 @@ mod tests {
                 nego,
                 task: TaskId(0),
                 from: 2,
+                round: 0,
             },
         );
         assert!(actions
@@ -899,6 +995,7 @@ mod tests {
                 nego,
                 task: TaskId(0),
                 from: 1,
+                round: 0,
             },
         );
         assert!(actions
@@ -948,6 +1045,7 @@ mod tests {
                 nego,
                 task: TaskId(0),
                 from: 2,
+                round: 0,
             },
         );
         assert!(org.is_operating(nego));
@@ -980,6 +1078,7 @@ mod tests {
                 nego,
                 task: TaskId(0),
                 from: 2,
+                round: 0,
             },
         );
         // Fresh heartbeat just before the check.
@@ -1000,6 +1099,109 @@ mod tests {
     }
 
     #[test]
+    fn backoff_chain_defers_retry_cfp_to_re_announce_timer() {
+        use crate::strategy::TimeoutBackoff;
+        let config = OrganizerConfig {
+            max_rounds: 3,
+            chain: OrganizerStrategy::new()
+                .with(TimeoutBackoff::doubling(SimDuration::millis(10), 3)),
+            ..Default::default()
+        };
+        let mut org = OrganizerEngine::new(0, config);
+        let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
+        // Round 0 deadline with no proposals: instead of an immediate
+        // round-1 CFP, the backoff chain arms a ReAnnounce timer.
+        let actions = org.on_timer(SimTime(100_000), nego, TimerKind::ProposalDeadline);
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a.payload(), Some(Msg::CallForProposals { .. }))),
+            "backoff must suppress the immediate retry CFP"
+        );
+        let re_announce: Vec<SimDuration> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Timer { delay, token }
+                    if crate::protocol::decode_timer(*token).unwrap().1
+                        == TimerKind::ReAnnounce =>
+                {
+                    Some(*delay)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(re_announce, vec![SimDuration::millis(10)]);
+        assert_eq!(org.phase(nego), Some(NegoPhase::Collecting));
+        // The timer fires: the round-1 CFP goes out now.
+        let actions = org.on_timer(SimTime(110_000), nego, TimerKind::ReAnnounce);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a.payload(), Some(Msg::CallForProposals { round: 1, .. }))));
+        // Second failure backs off twice as long (doubling policy).
+        let actions = org.on_timer(SimTime(210_000), nego, TimerKind::ProposalDeadline);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Timer { delay, token }
+                if *delay == SimDuration::millis(20)
+                    && crate::protocol::decode_timer(*token).unwrap().1 == TimerKind::ReAnnounce
+        )));
+    }
+
+    #[test]
+    fn re_announce_after_dissolve_is_inert() {
+        use crate::strategy::TimeoutBackoff;
+        let config = OrganizerConfig {
+            chain: OrganizerStrategy::new()
+                .with(TimeoutBackoff::doubling(SimDuration::millis(10), 4)),
+            ..Default::default()
+        };
+        let mut org = OrganizerEngine::new(0, config);
+        let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
+        org.on_timer(SimTime(100_000), nego, TimerKind::ProposalDeadline);
+        org.dissolve(nego);
+        // The pending ReAnnounce fires after dissolution: nothing happens.
+        assert!(org
+            .on_timer(SimTime(110_000), nego, TimerKind::ReAnnounce)
+            .is_empty());
+    }
+
+    #[test]
+    fn heartbeat_check_renews_leases_when_enabled() {
+        let config = OrganizerConfig {
+            renew_leases: true,
+            ..Default::default()
+        };
+        let mut org = OrganizerEngine::new(0, config);
+        let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
+        drive_to_award(&mut org, nego, vec![(2, 10, 1000.0)]);
+        org.on_message(
+            SimTime(150_000),
+            2,
+            &Msg::Accept {
+                nego,
+                task: TaskId(0),
+                from: 2,
+                round: 0,
+            },
+        );
+        // Heartbeat arrives so no reconfiguration; the check still renews.
+        org.on_message(
+            SimTime(450_000),
+            2,
+            &Msg::Heartbeat {
+                nego,
+                task: TaskId(0),
+                from: 2,
+            },
+        );
+        let actions = org.on_timer(SimTime(500_000), nego, TimerKind::HeartbeatCheck);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send { to: 2, msg } if matches!(&**msg, Msg::LeaseRenew { .. })
+        )));
+    }
+
+    #[test]
     fn dissolve_releases_members() {
         let mut org = OrganizerEngine::new(0, OrganizerConfig::default());
         let (nego, _) = org.start_service(SimTime::ZERO, &service(1)).unwrap();
@@ -1011,6 +1213,7 @@ mod tests {
                 nego,
                 task: TaskId(0),
                 from: 2,
+                round: 0,
             },
         );
         let actions = org.dissolve(nego);
@@ -1037,6 +1240,7 @@ mod tests {
                 nego,
                 task: TaskId(0),
                 from: 9,
+                round: 0,
             },
         );
         assert!(actions.is_empty());

@@ -116,6 +116,11 @@ pub enum Msg {
         nego: NegoId,
         /// Task awarded.
         task: TaskId,
+        /// Round the award was struck in; the winner echoes it so the
+        /// organizer can discard answers to superseded awards (a
+        /// partition can strand a round-`r` accept in flight while a
+        /// re-announce has already moved the negotiation to round `r+1`).
+        round: u32,
     },
     /// Winner confirms it committed its reservation.
     Accept {
@@ -125,6 +130,8 @@ pub enum Msg {
         task: TaskId,
         /// Accepting node.
         from: Pid,
+        /// Round of the award being answered.
+        round: u32,
     },
     /// Winner could no longer honour the offer (e.g. holds expired).
     Decline {
@@ -134,6 +141,8 @@ pub enum Msg {
         task: TaskId,
         /// Declining node.
         from: Pid,
+        /// Round of the award being answered.
+        round: u32,
     },
     /// Operation phase: periodic liveness signal from a member.
     Heartbeat {
@@ -149,6 +158,15 @@ pub enum Msg {
         /// Negotiation being dissolved.
         nego: NegoId,
     },
+    /// Operation phase: the organizer renews its members' commit leases
+    /// (only sent when lease renewal is enabled; see
+    /// `OrganizerConfig::renew_leases`). Providers running with a commit
+    /// TTL release commitments whose lease lapses — the backstop that
+    /// frees capacity trapped behind a partition that never heals.
+    LeaseRenew {
+        /// Negotiation whose leases are renewed.
+        nego: NegoId,
+    },
 }
 
 impl Msg {
@@ -162,10 +180,11 @@ impl Msg {
                 64 + 300 * tasks.len() as u64
             }
             Msg::Proposal { proposals, .. } => 48 + 64 * proposals.len() as u64,
-            Msg::Award { .. } => 32,
-            Msg::Accept { .. } | Msg::Decline { .. } => 32,
+            Msg::Award { .. } => 36,
+            Msg::Accept { .. } | Msg::Decline { .. } => 36,
             Msg::Heartbeat { .. } => 24,
             Msg::Release { .. } => 24,
+            Msg::LeaseRenew { .. } => 24,
         }
     }
 }
@@ -187,6 +206,13 @@ pub enum TimerKind {
     Kickoff,
     /// Host request: dissolve the identified negotiation (organizer side).
     Dissolve,
+    /// Organizer: backed-off re-announce of the still-open tasks fires
+    /// (armed by the `TimeoutBackoff` strategy component after a round
+    /// settles with open tasks).
+    ReAnnounce,
+    /// Provider: check committed-reservation leases and release the
+    /// expired ones (armed while a commit TTL is configured).
+    LeaseCheck,
 }
 
 impl TimerKind {
@@ -199,6 +225,8 @@ impl TimerKind {
             TimerKind::HoldExpiry => 4,
             TimerKind::Kickoff => 5,
             TimerKind::Dissolve => 6,
+            TimerKind::ReAnnounce => 7,
+            TimerKind::LeaseCheck => 8,
         }
     }
 
@@ -211,6 +239,8 @@ impl TimerKind {
             4 => TimerKind::HoldExpiry,
             5 => TimerKind::Kickoff,
             6 => TimerKind::Dissolve,
+            7 => TimerKind::ReAnnounce,
+            8 => TimerKind::LeaseCheck,
             _ => return None,
         })
     }
@@ -302,6 +332,8 @@ mod tests {
             TimerKind::HoldExpiry,
             TimerKind::Kickoff,
             TimerKind::Dissolve,
+            TimerKind::ReAnnounce,
+            TimerKind::LeaseCheck,
         ] {
             let token = encode_timer(nego, kind);
             assert_eq!(decode_timer(token), Some((nego, kind)));

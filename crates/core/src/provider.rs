@@ -58,6 +58,14 @@ pub struct ProviderConfig {
     /// the reachable state space infinite, and liveness there is judged at
     /// negotiation quiescence instead.
     pub heartbeats: bool,
+    /// Committed-grant lease: when set, every accepted award must be
+    /// refreshed by [`Msg::LeaseRenew`] (or a fresh award) within this
+    /// window or its resources are released. This is the partition
+    /// backstop — capacity committed to an organizer that vanished behind
+    /// a network cut is eventually returned to the pool instead of being
+    /// trapped forever. `None` (the default) keeps commits durable until
+    /// an explicit [`Msg::Release`], the exact pre-lease behaviour.
+    pub commit_ttl: Option<SimDuration>,
     /// Reward model for the §5 heuristic.
     pub reward: Arc<dyn RewardModel>,
     /// Multi-task pricing strategy.
@@ -76,6 +84,7 @@ impl Default for ProviderConfig {
             heartbeat_interval: SimDuration::millis(500),
             participate: true,
             heartbeats: true,
+            commit_ttl: None,
             reward: Arc::new(LinearPenalty::default()),
             strategy: ProposalStrategy::Joint,
             chain: ProviderStrategy::default(),
@@ -111,6 +120,7 @@ impl std::fmt::Debug for ProviderConfig {
             .field("heartbeat_interval", &self.heartbeat_interval)
             .field("participate", &self.participate)
             .field("heartbeats", &self.heartbeats)
+            .field("commit_ttl", &self.commit_ttl)
             .field("reward", &self.reward.name())
             .field("strategy", &self.strategy)
             .field("chain", &self.chain)
@@ -182,6 +192,16 @@ pub struct ProviderEngine {
     active: HashMap<NegoId, Vec<TaskId>>,
     /// Heartbeat timers armed per negotiation (avoid duplicates).
     heartbeat_armed: HashMap<NegoId, bool>,
+    /// Highest CFP round heard per negotiation (partition recovery: a
+    /// fresh round re-announcing a task we committed in an older round
+    /// proves the organizer gave that award up).
+    latest_round: HashMap<NegoId, u32>,
+    /// The CFP round each committed grant was proposed in.
+    commit_round: HashMap<(NegoId, TaskId), u32>,
+    /// Commit-lease expiry per grant (only populated under `commit_ttl`).
+    lease_deadline: HashMap<(NegoId, TaskId), SimTime>,
+    /// Lease-check timers armed per negotiation (avoid duplicates).
+    lease_armed: HashMap<NegoId, bool>,
 }
 
 impl ProviderEngine {
@@ -198,6 +218,10 @@ impl ProviderEngine {
             committed: HashMap::new(),
             active: HashMap::new(),
             heartbeat_armed: HashMap::new(),
+            latest_round: HashMap::new(),
+            commit_round: HashMap::new(),
+            lease_deadline: HashMap::new(),
+            lease_armed: HashMap::new(),
         }
     }
 
@@ -235,6 +259,19 @@ impl ProviderEngine {
         v
     }
 
+    /// Tasks this node currently executes, with the CFP round each grant
+    /// was won in — the model checker's no-split-brain invariant compares
+    /// rounds across nodes to prove at most one executor per award.
+    pub fn executing_rounds(&self) -> Vec<(NegoId, TaskId, u32)> {
+        let mut v: Vec<(NegoId, TaskId, u32)> = self
+            .committed
+            .keys()
+            .map(|k| (k.0, k.1, self.commit_round.get(k).copied().unwrap_or(0)))
+            .collect();
+        v.sort();
+        v
+    }
+
     /// Tasks this node has in-flight tentative holds for (proposed but not
     /// yet awarded/declined), sorted.
     pub fn holding(&self) -> Vec<(NegoId, TaskId)> {
@@ -260,8 +297,12 @@ impl ProviderEngine {
     pub fn on_message(&mut self, now: SimTime, from: Pid, msg: &Msg) -> Vec<Action> {
         match msg {
             Msg::CallForProposals { nego, tasks, round } => self.on_cfp(now, *nego, tasks, *round),
-            Msg::Award { nego, task } => self.on_award(now, *nego, *task),
+            Msg::Award { nego, task, round } => self.on_award(now, *nego, *task, *round),
             Msg::Release { nego } => self.on_release(*nego),
+            Msg::LeaseRenew { nego } => {
+                self.on_lease_renew(now, *nego);
+                Vec::new()
+            }
             _ => {
                 let _ = from;
                 Vec::new()
@@ -277,6 +318,7 @@ impl ProviderEngine {
                 Vec::new()
             }
             TimerKind::HeartbeatSend => self.on_heartbeat_send(nego),
+            TimerKind::LeaseCheck => self.on_lease_check(now, nego),
             _ => Vec::new(),
         }
     }
@@ -330,6 +372,27 @@ impl ProviderEngine {
     ) -> Vec<Action> {
         if !self.config.participate || tasks.is_empty() {
             return Vec::new();
+        }
+        // Partition recovery: the organizer only re-announces tasks it has
+        // no live assignment for, so a CFP round fresher than one of our
+        // commits that *names that committed task* proves the organizer
+        // reopened it (our Accept was lost behind a cut, or it struck us
+        // after silence). The grant will never be released explicitly —
+        // return its resources to the pool now, before pricing the retry.
+        let prev_round = self.latest_round.get(&nego).copied();
+        if prev_round.is_none_or(|r| round > r) {
+            self.latest_round.insert(nego, round);
+        }
+        let reopened: Vec<(NegoId, TaskId)> = tasks
+            .iter()
+            .map(|t| (nego, t.task))
+            .filter(|k| {
+                self.committed.contains_key(k)
+                    && self.commit_round.get(k).copied().unwrap_or(0) < round
+            })
+            .collect();
+        for k in reopened {
+            self.release_commit(k);
         }
         // A fresh CFP round for a negotiation supersedes this provider's
         // earlier unanswered offers: the organizer has moved on, so their
@@ -517,18 +580,44 @@ impl ProviderEngine {
         ]
     }
 
-    fn on_award(&mut self, _now: SimTime, nego: NegoId, task: TaskId) -> Vec<Action> {
-        let Some(hold) = self.holds.remove(&(nego, task)) else {
-            // Hold expired (or we never proposed): we cannot honour the
-            // award any more.
-            return vec![Action::send(
+    /// Returns one committed grant's resources to the pool and scrubs
+    /// every per-grant record (round stamp, lease, heartbeat target).
+    fn release_commit(&mut self, key: (NegoId, TaskId)) {
+        if let Some(h) = self.committed.remove(&key) {
+            self.ledger.release(h);
+        }
+        self.commit_round.remove(&key);
+        self.lease_deadline.remove(&key);
+        if let Some(tasks) = self.active.get_mut(&key.0) {
+            tasks.retain(|t| *t != key.1);
+            if tasks.is_empty() {
+                self.active.remove(&key.0);
+            }
+        }
+    }
+
+    fn on_award(&mut self, now: SimTime, nego: NegoId, task: TaskId, round: u32) -> Vec<Action> {
+        let decline = |from: Pid| {
+            vec![Action::send(
                 nego.organizer,
                 Msg::Decline {
                     nego,
                     task,
-                    from: self.id,
+                    from,
+                    round,
                 },
-            )];
+            )]
+        };
+        if self.latest_round.get(&nego).copied().unwrap_or(0) > round {
+            // The award belongs to a round we already know is superseded
+            // (a fresh CFP re-announced its task): committing now would
+            // resurrect exactly the stale grant the re-announce released.
+            return decline(self.id);
+        }
+        let Some(hold) = self.holds.remove(&(nego, task)) else {
+            // Hold expired (or we never proposed): we cannot honour the
+            // award any more.
+            return decline(self.id);
         };
         if !self.config.chain.accepts_award(&AwardContext {
             node: self.id,
@@ -537,27 +626,14 @@ impl ProviderEngine {
             // A strategy component vetoed the award: decline and release
             // the tentative hold rather than letting it expire.
             self.ledger.release(hold);
-            return vec![Action::send(
-                nego.organizer,
-                Msg::Decline {
-                    nego,
-                    task,
-                    from: self.id,
-                },
-            )];
+            return decline(self.id);
         }
         if self.ledger.commit(hold).is_err() {
             // The tentative hold expired between proposal and award.
-            return vec![Action::send(
-                nego.organizer,
-                Msg::Decline {
-                    nego,
-                    task,
-                    from: self.id,
-                },
-            )];
+            return decline(self.id);
         }
         self.committed.insert((nego, task), hold);
+        self.commit_round.insert((nego, task), round);
         self.active.entry(nego).or_default().push(task);
         let mut actions = vec![Action::send(
             nego.organizer,
@@ -565,6 +641,7 @@ impl ProviderEngine {
                 nego,
                 task,
                 from: self.id,
+                round,
             },
         )];
         if self.config.heartbeats && !self.heartbeat_armed.get(&nego).copied().unwrap_or(false) {
@@ -573,6 +650,16 @@ impl ProviderEngine {
                 delay: self.config.heartbeat_interval,
                 token: encode_timer(nego, TimerKind::HeartbeatSend),
             });
+        }
+        if let Some(ttl) = self.config.commit_ttl {
+            self.lease_deadline.insert((nego, task), now + ttl);
+            if !self.lease_armed.get(&nego).copied().unwrap_or(false) {
+                self.lease_armed.insert(nego, true);
+                actions.push(Action::Timer {
+                    delay: ttl,
+                    token: encode_timer(nego, TimerKind::LeaseCheck),
+                });
+            }
         }
         actions
     }
@@ -606,6 +693,48 @@ impl ProviderEngine {
         actions
     }
 
+    /// Lease sweep for one negotiation: expired grants are released; the
+    /// timer re-arms for the earliest surviving deadline, and disarms when
+    /// nothing leased remains.
+    fn on_lease_check(&mut self, now: SimTime, nego: NegoId) -> Vec<Action> {
+        let expired: Vec<(NegoId, TaskId)> = self
+            .lease_deadline
+            .iter()
+            .filter(|((n, _), at)| *n == nego && **at <= now)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in expired {
+            self.release_commit(k);
+        }
+        let next = self
+            .lease_deadline
+            .iter()
+            .filter(|((n, _), _)| *n == nego)
+            .map(|(_, at)| *at)
+            .min();
+        let Some(next) = next else {
+            self.lease_armed.remove(&nego);
+            return Vec::new();
+        };
+        vec![Action::Timer {
+            delay: SimDuration::micros(next.since(now).as_micros().max(1)),
+            token: encode_timer(nego, TimerKind::LeaseCheck),
+        }]
+    }
+
+    /// The organizer refreshed its claim on this negotiation's grants:
+    /// every lease extends by a full `commit_ttl` from now.
+    fn on_lease_renew(&mut self, now: SimTime, nego: NegoId) {
+        let Some(ttl) = self.config.commit_ttl else {
+            return;
+        };
+        for ((n, _), at) in self.lease_deadline.iter_mut() {
+            if *n == nego {
+                *at = now + ttl;
+            }
+        }
+    }
+
     fn on_release(&mut self, nego: NegoId) -> Vec<Action> {
         // Release committed grants of this negotiation.
         let keys: Vec<(NegoId, TaskId)> = self
@@ -633,6 +762,10 @@ impl ProviderEngine {
         }
         self.active.remove(&nego);
         self.heartbeat_armed.remove(&nego);
+        self.latest_round.remove(&nego);
+        self.commit_round.retain(|(n, _), _| *n != nego);
+        self.lease_deadline.retain(|(n, _), _| *n != nego);
+        self.lease_armed.remove(&nego);
         // The negotiation is over: its warm degradation trajectories will
         // never be replayed again.
         self.formulator.forget_warm(warm_key(nego));
@@ -700,6 +833,36 @@ impl crate::snapshot::StateDigest for ProviderEngine {
             h.write_u64(n.seq as u64);
             h.write_bool(*a);
         }
+        // Round bookkeeping drives the stale-commit release decision, so
+        // it is protocol state and must be hashed. Lease deadlines are
+        // path-dependent timestamps but only exist under `commit_ttl`,
+        // which model-checking configs leave off (empty map, no forking).
+        let mut rounds: Vec<(&NegoId, &u32)> = self.latest_round.iter().collect();
+        rounds.sort();
+        h.write_usize(rounds.len());
+        for (n, r) in rounds {
+            h.write_u64(n.organizer as u64);
+            h.write_u64(n.seq as u64);
+            h.write_u64(*r as u64);
+        }
+        let mut commit_rounds: Vec<(&(NegoId, TaskId), &u32)> = self.commit_round.iter().collect();
+        commit_rounds.sort();
+        h.write_usize(commit_rounds.len());
+        for (k, r) in commit_rounds {
+            h.write_u64(k.0.organizer as u64);
+            h.write_u64(k.0.seq as u64);
+            h.write_u64(k.1 .0 as u64);
+            h.write_u64(*r as u64);
+        }
+        let mut leases: Vec<(&(NegoId, TaskId), &SimTime)> = self.lease_deadline.iter().collect();
+        leases.sort();
+        h.write_usize(leases.len());
+        for (k, at) in leases {
+            h.write_u64(k.0.organizer as u64);
+            h.write_u64(k.0.seq as u64);
+            h.write_u64(k.1 .0 as u64);
+            h.write_u64(at.0);
+        }
         // Config and demand models are immutable after setup and the
         // formulator cache is behaviour-neutral: all excluded by design.
     }
@@ -721,6 +884,7 @@ mod tests {
             "heartbeat_interval",
             "participate",
             "heartbeats",
+            "commit_ttl",
             "reward",
             "strategy",
             "chain",
@@ -729,7 +893,14 @@ mod tests {
         }
         assert!(dbg.contains("linear-penalty"), "reward model name: {dbg}");
         let dbg = format!("{:?}", crate::OrganizerConfig::default());
-        for field in ["tiebreak", "max_rounds", "eval", "monitor", "chain"] {
+        for field in [
+            "tiebreak",
+            "max_rounds",
+            "eval",
+            "monitor",
+            "renew_leases",
+            "chain",
+        ] {
             assert!(dbg.contains(field), "missing {field} in {dbg}");
         }
     }
@@ -861,6 +1032,7 @@ mod tests {
             &Msg::Award {
                 nego: nego(),
                 task: TaskId(0),
+                round: 0,
             },
         );
         assert!(actions.iter().any(|a| matches!(
@@ -894,6 +1066,7 @@ mod tests {
             &Msg::Award {
                 nego: nego(),
                 task: TaskId(0),
+                round: 0,
             },
         );
         assert!(actions.iter().any(|a| matches!(
@@ -913,6 +1086,7 @@ mod tests {
             &Msg::Award {
                 nego: nego(),
                 task: TaskId(0),
+                round: 0,
             },
         );
         let actions = p.on_timer(SimTime(502_000), nego(), TimerKind::HeartbeatSend);
@@ -935,6 +1109,7 @@ mod tests {
             &Msg::Award {
                 nego: nego(),
                 task: TaskId(0),
+                round: 0,
             },
         );
         p.on_message(SimTime(3000), 0, &Msg::Release { nego: nego() });
@@ -963,6 +1138,154 @@ mod tests {
             .unwrap();
         assert!(!proposals.is_empty() && proposals.len() < 3);
         assert_eq!(proposals[0].task, TaskId(0));
+    }
+
+    #[test]
+    fn fresh_round_reannouncing_committed_task_releases_the_grant() {
+        let mut p = provider(500.0);
+        let full = p.ledger().available();
+        // Win task 0 in round 0.
+        p.on_message(SimTime(1000), 0, &cfp(vec![announcement(0)]));
+        p.on_message(
+            SimTime(2000),
+            0,
+            &Msg::Award {
+                nego: nego(),
+                task: TaskId(0),
+                round: 0,
+            },
+        );
+        assert_eq!(p.executing_rounds(), vec![(nego(), TaskId(0), 0)]);
+        // The organizer re-announces task 0 in round 1: our Accept was
+        // lost, the award was struck — the old grant must be released
+        // (and we re-propose against restored capacity).
+        let round1 = Msg::CallForProposals {
+            nego: nego(),
+            tasks: vec![announcement(0)],
+            round: 1,
+        };
+        let actions = p.on_message(SimTime(3000), 0, &round1);
+        assert!(p.executing().is_empty(), "stale commit must be released");
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a.payload(), Some(Msg::Proposal { .. }))));
+        // Re-award in round 1: commit stamped with the fresh round, and
+        // capacity bounded as if the round-0 grant never existed.
+        p.on_message(
+            SimTime(4000),
+            0,
+            &Msg::Award {
+                nego: nego(),
+                task: TaskId(0),
+                round: 1,
+            },
+        );
+        assert_eq!(p.executing_rounds(), vec![(nego(), TaskId(0), 1)]);
+        p.on_message(SimTime(5000), 0, &Msg::Release { nego: nego() });
+        assert_eq!(p.ledger().available(), full);
+    }
+
+    #[test]
+    fn fresh_round_spares_commits_for_other_tasks() {
+        let mut p = provider(500.0);
+        // Win both tasks in round 0.
+        p.on_message(
+            SimTime(1000),
+            0,
+            &cfp(vec![announcement(0), announcement(1)]),
+        );
+        for t in [0, 1] {
+            p.on_message(
+                SimTime(2000),
+                0,
+                &Msg::Award {
+                    nego: nego(),
+                    task: TaskId(t),
+                    round: 0,
+                },
+            );
+        }
+        // Round 1 re-announces only task 1: the task-0 grant survives.
+        let round1 = Msg::CallForProposals {
+            nego: nego(),
+            tasks: vec![announcement(1)],
+            round: 1,
+        };
+        p.on_message(SimTime(3000), 0, &round1);
+        assert_eq!(p.executing(), vec![(nego(), TaskId(0))]);
+    }
+
+    #[test]
+    fn commit_lease_expires_without_renewal_and_survives_with_it() {
+        let config = ProviderConfig {
+            commit_ttl: Some(SimDuration::millis(100)),
+            ..Default::default()
+        };
+        let mut p = ProviderEngine::new(
+            5,
+            ResourceVector::new(500.0, 512.0, 10_000.0, 60.0, 10_000.0),
+            config,
+        );
+        let spec = catalog::av_spec();
+        p.register_demand_model(spec.name().to_string(), Arc::new(av_demand_model(&spec)));
+        let full = p.ledger().available();
+        p.on_message(SimTime(1000), 0, &cfp(vec![announcement(0)]));
+        let actions = p.on_message(
+            SimTime(2000),
+            0,
+            &Msg::Award {
+                nego: nego(),
+                task: TaskId(0),
+                round: 0,
+            },
+        );
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::Timer { token, .. }
+                if crate::protocol::decode_timer(*token).unwrap().1 == TimerKind::LeaseCheck)),
+            "award under commit_ttl arms a lease check"
+        );
+        // A renewal inside the window pushes the deadline out...
+        p.on_message(SimTime(50_000), 0, &Msg::LeaseRenew { nego: nego() });
+        let actions = p.on_timer(SimTime(102_000), nego(), TimerKind::LeaseCheck);
+        assert_eq!(p.executing(), vec![(nego(), TaskId(0))]);
+        assert!(
+            actions.iter().any(|a| matches!(a, Action::Timer { .. })),
+            "lease check re-arms while grants remain"
+        );
+        // ...but silence past the renewed deadline releases the grant.
+        let actions = p.on_timer(SimTime(200_000), nego(), TimerKind::LeaseCheck);
+        assert!(p.executing().is_empty(), "expired lease releases capacity");
+        assert_eq!(p.ledger().available(), full);
+        assert!(
+            !actions.iter().any(|a| matches!(a, Action::Timer { .. })),
+            "nothing leased: the check disarms"
+        );
+    }
+
+    #[test]
+    fn leases_are_off_by_default() {
+        let mut p = provider(500.0);
+        p.on_message(SimTime(1000), 0, &cfp(vec![announcement(0)]));
+        let actions = p.on_message(
+            SimTime(2000),
+            0,
+            &Msg::Award {
+                nego: nego(),
+                task: TaskId(0),
+                round: 0,
+            },
+        );
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, Action::Timer { token, .. }
+            if crate::protocol::decode_timer(*token).unwrap().1 == TimerKind::LeaseCheck)));
+        // A stray LeaseCheck (or renewal) is inert without commit_ttl.
+        assert!(p
+            .on_timer(SimTime(10_000_000), nego(), TimerKind::LeaseCheck)
+            .is_empty());
+        assert_eq!(p.executing(), vec![(nego(), TaskId(0))]);
     }
 
     #[test]
@@ -1005,6 +1328,7 @@ mod tests {
             &Msg::Award {
                 nego: n1,
                 task: TaskId(0),
+                round: 0,
             },
         );
         p.on_message(
@@ -1013,6 +1337,7 @@ mod tests {
             &Msg::Award {
                 nego: n2,
                 task: TaskId(0),
+                round: 0,
             },
         );
         let committed_cpu = p.ledger().capacity().get(ResourceKind::Cpu)

@@ -108,8 +108,8 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use qosc_actors::{Actor, ActorCtx, ActorSystem, Addr, Directory};
 use qosc_netsim::{
-    Ctx, DeliveryFault, FaultPlan, FaultSampler, NetApp, NetStats, NodeId, ShardedSimulator,
-    SimDuration, SimTime, Simulator,
+    Ctx, DeliveryFault, FaultPlan, FaultSampler, NetApp, NetStats, NodeId, PartitionPlan,
+    PartitionTimeline, ShardedSimulator, SimDuration, SimTime, Simulator,
 };
 use qosc_spec::ServiceDef;
 
@@ -332,7 +332,10 @@ impl NodeEngine for CoalitionNode {
 
     fn on_message(&mut self, now: SimTime, from: Pid, msg: &Msg) -> Vec<Action> {
         let actions = match msg {
-            Msg::CallForProposals { .. } | Msg::Award { .. } | Msg::Release { .. } => self
+            Msg::CallForProposals { .. }
+            | Msg::Award { .. }
+            | Msg::Release { .. }
+            | Msg::LeaseRenew { .. } => self
                 .provider
                 .as_mut()
                 .map(|p| p.on_message(now, from, msg))
@@ -357,13 +360,15 @@ impl NodeEngine for CoalitionNode {
                 .as_mut()
                 .map(|o| o.dissolve(nego))
                 .unwrap_or_default(),
-            TimerKind::ProposalDeadline | TimerKind::AwardDeadline | TimerKind::HeartbeatCheck => {
-                self.organizer
-                    .as_mut()
-                    .map(|o| o.on_timer(now, nego, kind))
-                    .unwrap_or_default()
-            }
-            TimerKind::HeartbeatSend | TimerKind::HoldExpiry => self
+            TimerKind::ProposalDeadline
+            | TimerKind::AwardDeadline
+            | TimerKind::HeartbeatCheck
+            | TimerKind::ReAnnounce => self
+                .organizer
+                .as_mut()
+                .map(|o| o.on_timer(now, nego, kind))
+                .unwrap_or_default(),
+            TimerKind::HeartbeatSend | TimerKind::HoldExpiry | TimerKind::LeaseCheck => self
                 .provider
                 .as_mut()
                 .map(|p| p.on_timer(now, nego, kind))
@@ -488,6 +493,16 @@ pub trait Runtime {
     /// before the first `run`; a plan that samples nothing leaves the
     /// backend bit-identical to an uninstalled one.
     fn set_fault_plan(&mut self, _plan: FaultPlan) -> bool {
+        false
+    }
+
+    /// Installs a link-partition schedule for this run (see
+    /// [`PartitionPlan`]): deliveries whose arrival falls inside a window
+    /// that separates sender and receiver are cut. Returns `false` if the
+    /// backend does not enforce partitions (the default). Call before the
+    /// first `run`; a plan with no events leaves the backend bit-identical
+    /// to an uninstalled one.
+    fn set_partition_plan(&mut self, _plan: &PartitionPlan) -> bool {
         false
     }
 
@@ -705,6 +720,11 @@ impl Runtime for DesRuntime {
 
     fn set_fault_plan(&mut self, plan: FaultPlan) -> bool {
         self.sim.set_fault_plan(plan);
+        true
+    }
+
+    fn set_partition_plan(&mut self, plan: &PartitionPlan) -> bool {
+        self.sim.set_partition_plan(plan);
         true
     }
 
@@ -991,6 +1011,11 @@ impl Runtime for DesShardedRuntime {
         true
     }
 
+    fn set_partition_plan(&mut self, plan: &PartitionPlan) -> bool {
+        self.sim.set_partition_plan(plan);
+        true
+    }
+
     fn events(&self) -> &[LoggedEvent] {
         &self.merged
     }
@@ -1072,6 +1097,14 @@ pub struct DirectRuntime {
     /// Installed when a [`FaultPlan`] with sampling content is set;
     /// `None` keeps the no-fault path allocation- and RNG-free.
     fault: Option<FaultSampler>,
+    /// Partition schedule as installed; expanded against the registered
+    /// node set on the first `run` (sampled plans bisect `0..node_count`,
+    /// so expansion must wait until every node is known).
+    partition_plan: Option<PartitionPlan>,
+    /// Expanded schedule consulted per delivery; `None` = never cuts.
+    partition: Option<PartitionTimeline>,
+    /// Deliveries suppressed by the partition schedule.
+    partition_cuts: u64,
     /// Coalesce same-instant CFP deliveries per target node (see
     /// [`DirectRuntime::set_cfp_batching`]).
     cfp_batching: bool,
@@ -1086,6 +1119,18 @@ impl DirectRuntime {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Deliveries suppressed so far by the installed partition schedule.
+    pub fn partition_cuts(&self) -> u64 {
+        self.partition_cuts
+    }
+
+    /// True when the partition schedule separates `a` and `b` at `at`.
+    fn cuts(&self, at: SimTime, a: Pid, b: Pid) -> bool {
+        self.partition
+            .as_ref()
+            .is_some_and(|tl| tl.cuts_at(at, a, b))
     }
 
     /// Enables (or disables) coalescing of same-instant CFP deliveries to
@@ -1145,6 +1190,13 @@ impl DirectRuntime {
                     targets.extend(self.nodes.keys().copied().filter(|p| *p != at));
                     for &to in &targets {
                         for when in self.fault_delivery_times(now).into_iter().flatten() {
+                            // Cut after the fault draws, on the arrival
+                            // timestamp — the same discipline as the DES
+                            // `Medium`, so RNG streams stay aligned.
+                            if self.cuts(when, at, to) {
+                                self.partition_cuts += 1;
+                                continue;
+                            }
                             self.push(
                                 when,
                                 DirectKind::Deliver {
@@ -1161,6 +1213,10 @@ impl DirectRuntime {
                     self.unicasts += 1;
                     if self.nodes.contains_key(&to) {
                         for when in self.fault_delivery_times(now).into_iter().flatten() {
+                            if self.cuts(when, at, to) {
+                                self.partition_cuts += 1;
+                                continue;
+                            }
                             self.push(
                                 when,
                                 DirectKind::Deliver {
@@ -1189,6 +1245,11 @@ impl DirectRuntime {
             return;
         }
         self.started = true;
+        if let Some(plan) = self.partition_plan.take() {
+            let width = self.nodes.keys().next_back().map_or(0, |p| *p as usize + 1);
+            let tl = plan.expand(width);
+            self.partition = (!tl.is_empty()).then_some(tl);
+        }
         let now = self.now;
         let pids: Vec<Pid> = self.nodes.keys().copied().collect();
         for pid in pids {
@@ -1334,6 +1395,11 @@ impl Runtime for DirectRuntime {
 
     fn set_fault_plan(&mut self, plan: FaultPlan) -> bool {
         self.fault = plan.samples_anything().then(|| FaultSampler::new(plan));
+        true
+    }
+
+    fn set_partition_plan(&mut self, plan: &PartitionPlan) -> bool {
+        self.partition_plan = (!plan.is_none()).then(|| plan.clone());
         true
     }
 

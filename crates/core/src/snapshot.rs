@@ -195,10 +195,12 @@ mod tests {
         let a = Msg::Award {
             nego,
             task: TaskId(0),
+            round: 0,
         };
         let b = Msg::Award {
             nego,
             task: TaskId(1),
+            round: 0,
         };
         assert_ne!(digest_of(&a), digest_of(&b));
     }

@@ -74,6 +74,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use qosc_netsim::SimDuration;
 use qosc_resources::{ResourceKind, ResourceVector};
 use qosc_spec::TaskId;
 
@@ -242,6 +243,14 @@ pub trait OrganizerComponent: Send + Sync {
     fn retry(&self, _ctx: &RetryContext) -> Option<bool> {
         None
     }
+
+    /// Delay before the retry round's CFP is re-announced. The first
+    /// component returning `Some` wins; with no opinion (or a zero
+    /// delay) the engine re-announces immediately, exactly the legacy
+    /// behaviour. Only consulted when the chain decided to retry.
+    fn backoff(&self, _ctx: &RetryContext) -> Option<SimDuration> {
+        None
+    }
 }
 
 /// An ordered chain of strategy components sharing one trait.
@@ -359,6 +368,13 @@ impl OrganizerStrategy {
             .iter()
             .find_map(|c| c.retry(ctx))
             .unwrap_or(ctx.round + 1 < ctx.max_rounds)
+    }
+
+    /// First-opinion fold of [`OrganizerComponent::backoff`]: the delay
+    /// before the retry CFP, or `None`/zero for the legacy immediate
+    /// re-announce.
+    pub fn backoff_delay(&self, ctx: &RetryContext) -> Option<SimDuration> {
+        self.components.iter().find_map(|c| c.backoff(ctx))
     }
 }
 
@@ -537,6 +553,58 @@ impl OrganizerComponent for PatienceLimit {
     }
 }
 
+/// Organizer: timeout + exponential-backoff re-announce — the
+/// partition-tolerant retry policy. After a round ends with open tasks,
+/// the organizer waits `base · factor^round` (capped at `max_delay`)
+/// before re-announcing them, instead of the legacy immediate retry, so
+/// re-announcements thin out while a partition persists and the first
+/// CFP after a heal finds providers with capacity to offer.
+///
+/// `max_attempts` caps total rounds like [`PatienceLimit`] (the engine's
+/// `max_rounds` budget still applies on top). Timer-driven via
+/// `TimerKind::ReAnnounce`, so it works unmodified on every backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeoutBackoff {
+    /// Delay before the first retry round.
+    pub base: SimDuration,
+    /// Multiplier applied per completed round.
+    pub factor: f64,
+    /// Ceiling on the computed delay.
+    pub max_delay: SimDuration,
+    /// Total rounds to attempt (1 = never retry).
+    pub max_attempts: u32,
+}
+
+impl TimeoutBackoff {
+    /// A conventional doubling policy: `base`, ×2 per round, capped at
+    /// 16×`base`, up to `max_attempts` rounds.
+    pub fn doubling(base: SimDuration, max_attempts: u32) -> Self {
+        Self {
+            base,
+            factor: 2.0,
+            max_delay: SimDuration::micros(base.as_micros().saturating_mul(16)),
+            max_attempts,
+        }
+    }
+}
+
+impl OrganizerComponent for TimeoutBackoff {
+    fn name(&self) -> &'static str {
+        "timeout-backoff"
+    }
+
+    fn retry(&self, ctx: &RetryContext) -> Option<bool> {
+        Some(ctx.round + 1 < self.max_attempts.min(ctx.max_rounds))
+    }
+
+    fn backoff(&self, ctx: &RetryContext) -> Option<SimDuration> {
+        let scaled = self.base.as_micros() as f64 * self.factor.powi(ctx.round as i32);
+        Some(SimDuration::micros(
+            (scaled as u64).min(self.max_delay.as_micros()),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -676,6 +744,30 @@ mod tests {
         };
         assert!(chain.retries(&ctx(0)));
         assert!(!chain.retries(&ctx(1)));
+    }
+
+    #[test]
+    fn timeout_backoff_grows_and_caps() {
+        let chain = OrganizerStrategy::new().with(TimeoutBackoff {
+            base: SimDuration::millis(10),
+            factor: 2.0,
+            max_delay: SimDuration::millis(35),
+            max_attempts: 4,
+        });
+        let ctx = |round| RetryContext {
+            round,
+            max_rounds: 8,
+            open_tasks: 1,
+        };
+        assert_eq!(chain.backoff_delay(&ctx(0)), Some(SimDuration::millis(10)));
+        assert_eq!(chain.backoff_delay(&ctx(1)), Some(SimDuration::millis(20)));
+        // 40 ms exceeds the cap.
+        assert_eq!(chain.backoff_delay(&ctx(2)), Some(SimDuration::millis(35)));
+        // Attempt budget: 4 total rounds.
+        assert!(chain.retries(&ctx(2)));
+        assert!(!chain.retries(&ctx(3)));
+        // The empty chain has no backoff opinion (legacy immediate retry).
+        assert_eq!(OrganizerStrategy::new().backoff_delay(&ctx(0)), None);
     }
 
     #[test]

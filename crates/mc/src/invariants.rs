@@ -16,12 +16,24 @@
 //! * [`liveness_at_quiescence`] — once no message or timer remains, every
 //!   negotiation has settled (Operating or Dissolved): no schedule strands
 //!   a negotiation mid-round.
+//!
+//! Two partition-tolerance properties ship alongside (bundled by
+//! [`partition_invariants`], meant for fault plans that license
+//! partition branches):
+//!
+//! * [`no_split_brain_double_award`] — at most one provider executes any
+//!   (negotiation, task, round) at every instant, and at most one
+//!   executes any (negotiation, task) once the system settles;
+//! * [`liveness_after_heal`] — after the network heals and goes
+//!   quiescent, no task is stranded open or pending: everything ends
+//!   assigned or explicitly given up.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use qosc_core::{CoalitionNode, NegoPhase, Pid};
+use qosc_core::{CoalitionNode, NegoId, NegoPhase, Pid};
 use qosc_resources::ResourceKind;
+use qosc_spec::TaskId;
 
 /// A failed invariant: which property, and a human-readable account of
 /// the offending state.
@@ -47,6 +59,7 @@ impl std::fmt::Display for Violation {
 pub struct SystemView<'a> {
     nodes: BTreeMap<Pid, &'a CoalitionNode>,
     quiescent: bool,
+    partitioned: bool,
 }
 
 impl<'a> SystemView<'a> {
@@ -59,7 +72,16 @@ impl<'a> SystemView<'a> {
                 .map(|n| (qosc_core::runtime::NodeEngine::id(n), n))
                 .collect(),
             quiescent,
+            partitioned: false,
         }
+    }
+
+    /// Marks the view as taken while a network partition is active.
+    /// Partition-aware invariants weaken their end-state clauses on such
+    /// views (a partitioned state is also never quiescent).
+    pub fn with_partitioned(mut self, partitioned: bool) -> Self {
+        self.partitioned = partitioned;
+        self
     }
 
     /// The node hosting `pid`, if present.
@@ -75,6 +97,11 @@ impl<'a> SystemView<'a> {
     /// Whether the system has no deliverable event left.
     pub fn is_quiescent(&self) -> bool {
         self.quiescent
+    }
+
+    /// Whether a network partition was active when the view was taken.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
     }
 }
 
@@ -264,6 +291,93 @@ pub fn liveness_at_quiescence() -> Invariant {
     })
 }
 
+/// At most one provider executes any (negotiation, task, round) triple
+/// at every instant, and at most one provider executes any (negotiation,
+/// task) pair once the system settles (quiescent and healed). The round
+/// dimension matters mid-run: while a partition blocks an `Accept`, a
+/// backoff re-announce can legitimately award the same task again in a
+/// later round — two grants for the same task may coexist *transiently*,
+/// but never for the same round, and the stale one must be released
+/// (via the fresh-round CFP) before the system can go quiescent.
+pub fn no_split_brain_double_award() -> Invariant {
+    Arc::new(|view| {
+        let settled = view.is_quiescent() && !view.is_partitioned();
+        let mut by_round: BTreeMap<(NegoId, TaskId, u32), Pid> = BTreeMap::new();
+        let mut by_task: BTreeMap<(NegoId, TaskId), Pid> = BTreeMap::new();
+        for (pid, node) in view.nodes() {
+            let Some(p) = node.provider() else { continue };
+            for (nego, task, round) in p.executing_rounds() {
+                if let Some(prev) = by_round.insert((nego, task, round), pid) {
+                    return Err(Violation {
+                        invariant: "no-split-brain-double-award",
+                        message: format!(
+                            "{nego} task {task:?} round {round} executed by both node \
+                             {prev} and node {pid}"
+                        ),
+                    });
+                }
+                if settled {
+                    if let Some(prev) = by_task.insert((nego, task), pid) {
+                        return Err(Violation {
+                            invariant: "no-split-brain-double-award",
+                            message: format!(
+                                "{nego} task {task:?} still executed by both node {prev} \
+                                 and node {pid} after the system settled"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Once quiescent *and healed*, every negotiation has settled with no
+/// task still open or awaiting an award answer: the retry/backoff layer
+/// recovered everything a partition stranded. Vacuously true while
+/// events remain deliverable or a cut is active (a partitioned state is
+/// never quiescent, so the partition guard is defensive).
+pub fn liveness_after_heal() -> Invariant {
+    Arc::new(|view| {
+        if !view.is_quiescent() || view.is_partitioned() {
+            return Ok(());
+        }
+        for (pid, node) in view.nodes() {
+            let Some(org) = node.organizer() else {
+                continue;
+            };
+            for nego in org.nego_ids() {
+                let phase = org.phase(nego);
+                if !matches!(phase, Some(NegoPhase::Operating | NegoPhase::Dissolved)) {
+                    return Err(Violation {
+                        invariant: "liveness-after-heal",
+                        message: format!(
+                            "organizer {pid}: {nego} stranded in {phase:?} after the \
+                             network healed and went quiescent"
+                        ),
+                    });
+                }
+                let Some(lc) = org.task_lifecycle(nego) else {
+                    continue;
+                };
+                if !lc.open.is_empty() || !lc.pending.is_empty() {
+                    return Err(Violation {
+                        invariant: "liveness-after-heal",
+                        message: format!(
+                            "organizer {pid}: {nego} settled with {} open and {} pending \
+                             task(s) — every announced task must end assigned or given up",
+                            lc.open.len(),
+                            lc.pending.len()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
 /// The four shipped properties, in checking order.
 pub fn default_invariants() -> Vec<Invariant> {
     vec![
@@ -272,4 +386,15 @@ pub fn default_invariants() -> Vec<Invariant> {
         task_conservation(),
         liveness_at_quiescence(),
     ]
+}
+
+/// [`default_invariants`] plus the two partition-tolerance properties:
+/// [`no_split_brain_double_award`] and [`liveness_after_heal`]. Use with
+/// a [`FaultPlan`](qosc_netsim::FaultPlan) that licenses partition
+/// branches (`with_partitions`).
+pub fn partition_invariants() -> Vec<Invariant> {
+    let mut v = default_invariants();
+    v.push(no_split_brain_double_award());
+    v.push(liveness_after_heal());
+    v
 }

@@ -6,9 +6,9 @@
 //! [`Runtime`](qosc_core::Runtime) surface, but its `run` DFS-explores
 //! every interleaving of deliverable events — pending messages × per-node
 //! timers — plus every way of spending a [`FaultPlan`](qosc_netsim::FaultPlan) budget (message
-//! drop, message duplication, provider crash-restart), deduplicating
-//! states by canonical digest and checking the configured
-//! [`Invariant`]s at every distinct state.
+//! drop, message duplication, provider crash-restart, network
+//! partition), deduplicating states by canonical digest and checking
+//! the configured [`Invariant`]s at every distinct state.
 //!
 //! Shipped properties ([`default_invariants`]):
 //!
@@ -25,6 +25,17 @@
 //! visits every delivery order. Clocks are per-node and advance only
 //! when a timer fires, so "the proposal deadline beat the proposals"
 //! is just another explored branch, not a tuned timeout.
+//!
+//! A `with_partitions(n)` budget adds *partition branches*: at any
+//! unpartitioned state the explorer may split the nodes into any two
+//! nonempty groups, blocking (not dropping) cross-cut messages until a
+//! heal branch restores the links. Partitioned states are never
+//! quiescent (heal is always enabled), so liveness judgements still see
+//! every blocked delivery. [`partition_invariants`] bundles the shipped
+//! properties with [`no_split_brain_double_award`] and
+//! [`liveness_after_heal`] for exactly these runs — proving the
+//! timeout/backoff re-announce layer neither double-awards a task
+//! across a cut nor strands one after the network heals.
 //!
 //! ## Worked example: 2 organizers × 2 providers, drop + duplicate
 //!
@@ -145,8 +156,9 @@ mod state;
 pub mod trace;
 
 pub use invariants::{
-    capacity_conservation, check_all, default_invariants, liveness_at_quiescence,
-    no_orphaned_winner, task_conservation, verify_runtime, Invariant, SystemView, Violation,
+    capacity_conservation, check_all, default_invariants, liveness_after_heal,
+    liveness_at_quiescence, no_orphaned_winner, no_split_brain_double_award, partition_invariants,
+    task_conservation, verify_runtime, Invariant, SystemView, Violation,
 };
 pub use runtime::{CheckConfig, CheckReport, ModelCheckedRuntime, Replay};
 pub use state::ActionTap;

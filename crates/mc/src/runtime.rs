@@ -200,7 +200,8 @@ impl ModelCheckedRuntime {
         quiescent: bool,
         invariants: &[Invariant],
     ) -> Result<(), Violation> {
-        check_all(&SystemView::new(state.nodes(), quiescent), invariants)
+        let view = SystemView::new(state.nodes(), quiescent).with_partitioned(state.partitioned());
+        check_all(&view, invariants)
     }
 
     /// Runs (or returns the cached result of) the exhaustive check.
@@ -371,6 +372,10 @@ impl ModelCheckedRuntime {
                 .node(*node)
                 .filter(|n| n.organizer().is_none() && n.provider().is_some())
                 .map(|_| Choice::Crash(*node)),
+            TraceStep::Partition { mask } => {
+                (!state.partitioned()).then_some(Choice::Partition(*mask))
+            }
+            TraceStep::Heal => state.partitioned().then_some(Choice::Heal),
         }
     }
 }

@@ -6,7 +6,17 @@
 //! spent so far. Transitions ([`Choice`]) are exactly the events a real
 //! backend would process — deliver a message, fire a node's next timer —
 //! plus the fault branches a [`FaultPlan`] licenses: drop or duplicate a
-//! delivery, crash-restart a provider node.
+//! delivery, crash-restart a provider node, or split the network into
+//! two groups (and heal it again).
+//!
+//! Partitions are modelled as *blocking*, not dropping: a message whose
+//! endpoints sit on opposite sides of the active cut simply is not
+//! deliverable (nor droppable nor duplicable) until a heal — it stays in
+//! flight, exactly like a frame parked in a radio's retransmit queue.
+//! Because a heal transition is always enabled while partitioned, a
+//! partitioned state is never quiescent, which keeps the liveness
+//! invariant honest: quiescence implies the network healed and every
+//! blocked message had its delivery explored.
 //!
 //! Two modelling decisions keep the graph finite and honest:
 //!
@@ -72,6 +82,10 @@ pub(crate) enum Choice {
     Duplicate(usize),
     Fire(Pid),
     Crash(Pid),
+    /// Split the network: bit `i` of the mask names node `i`'s side.
+    Partition(u64),
+    /// Restore all links.
+    Heal,
 }
 
 /// Everything an applied transition produced besides the state change:
@@ -98,6 +112,10 @@ pub(crate) struct McState {
     pub drops_used: u32,
     pub duplicates_used: u32,
     pub crashes_used: u32,
+    /// Active cut, if any: bit `i` names node `i`'s side. `None` when
+    /// the network is whole.
+    pub partition: Option<u64>,
+    pub partitions_used: u32,
     next_timer_seq: u64,
 }
 
@@ -118,8 +136,20 @@ impl McState {
             drops_used: 0,
             duplicates_used: 0,
             crashes_used: 0,
+            partition: None,
+            partitions_used: 0,
             next_timer_seq: 0,
         }
+    }
+
+    /// True while a partition choice is in effect (cleared by heal).
+    pub fn partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// True iff the active cut (if any) separates `a` from `b`.
+    fn cuts(&self, a: Pid, b: Pid) -> bool {
+        self.partition.is_some_and(|m| (m >> a) & 1 != (m >> b) & 1)
     }
 
     pub fn insert_node(&mut self, node: CoalitionNode) {
@@ -178,9 +208,14 @@ impl McState {
     }
 
     /// No messages to deliver and no timers to fire: the protocol can
-    /// make no further progress on its own.
+    /// make no further progress on its own. A partitioned state is never
+    /// quiescent — a heal transition is always enabled, and declaring
+    /// quiescence mid-partition would let the liveness invariant judge
+    /// negotiations whose messages are merely blocked, not lost.
     pub fn quiescent(&self) -> bool {
-        self.in_flight.is_empty() && self.timers.values().all(|q| q.is_empty())
+        self.partition.is_none()
+            && self.in_flight.is_empty()
+            && self.timers.values().all(|q| q.is_empty())
     }
 
     /// Canonical 64-bit digest for the dedup set. Node digests come from
@@ -223,6 +258,10 @@ impl McState {
         h.write_u32(self.drops_used);
         h.write_u32(self.duplicates_used);
         h.write_u32(self.crashes_used);
+        // Valid cut masks are nonzero (both groups nonempty), so 0 is a
+        // safe encoding for "no partition".
+        h.write_u64(self.partition.unwrap_or(0));
+        h.write_u32(self.partitions_used);
         h.finish()
     }
 
@@ -233,6 +272,9 @@ impl McState {
         let mut choices = Vec::new();
         let mut seen: HashSet<(Pid, Pid, u64)> = HashSet::new();
         for (i, m) in self.in_flight.iter().enumerate() {
+            if self.cuts(m.from, m.to) {
+                continue; // blocked behind the cut until a heal
+            }
             if !seen.insert((m.from, m.to, m.digest)) {
                 continue; // identical copy: same successor states
             }
@@ -258,6 +300,30 @@ impl McState {
                     choices.push(Choice::Crash(*pid));
                 }
             }
+        }
+        match self.partition {
+            Some(_) => choices.push(Choice::Heal),
+            None if self.partitions_used < plan.max_partitions && self.nodes.len() >= 2 => {
+                // Every canonical bisection: the lowest pid is pinned to
+                // group 0 (bit unset), the remaining nodes enumerate both
+                // sides, and `sel` starting at 1 keeps group 1 nonempty —
+                // so each unordered {A, B} split appears exactly once.
+                let ids = self.node_ids();
+                debug_assert!(
+                    ids.iter().all(|p| *p < 64),
+                    "partition masks address nodes by bit index"
+                );
+                for sel in 1..(1u64 << (ids.len() - 1)) {
+                    let mut mask = 0u64;
+                    for (bit, pid) in ids[1..].iter().enumerate() {
+                        if (sel >> bit) & 1 == 1 {
+                            mask |= 1 << pid;
+                        }
+                    }
+                    choices.push(Choice::Partition(mask));
+                }
+            }
+            None => {}
         }
         choices
     }
@@ -334,6 +400,15 @@ impl McState {
                     token: timer.token,
                 }
             }
+            Choice::Partition(mask) => {
+                self.partition = Some(mask);
+                self.partitions_used += 1;
+                TraceStep::Partition { mask }
+            }
+            Choice::Heal => {
+                self.partition = None;
+                TraceStep::Heal
+            }
             Choice::Crash(pid) => {
                 self.crashes_used += 1;
                 self.with_node_mut(pid, |n| {
@@ -369,9 +444,10 @@ impl McState {
             return true;
         };
         match msg {
-            Msg::CallForProposals { .. } | Msg::Award { .. } | Msg::Release { .. } => {
-                node.provider().is_none()
-            }
+            Msg::CallForProposals { .. }
+            | Msg::Award { .. }
+            | Msg::Release { .. }
+            | Msg::LeaseRenew { .. } => node.provider().is_none(),
             Msg::Proposal { .. }
             | Msg::Accept { .. }
             | Msg::Decline { .. }

@@ -60,6 +60,15 @@ pub enum TraceStep {
         /// The crashed node.
         node: Pid,
     },
+    /// The network split in two: nodes whose bit in `mask` differs can
+    /// no longer exchange messages until a [`TraceStep::Heal`].
+    Partition {
+        /// Bit `i` set ⇔ node `i` is in the second group.
+        mask: u64,
+    },
+    /// The partition healed: all links restored, blocked in-flight
+    /// messages become deliverable again.
+    Heal,
 }
 
 /// Compact single-line rendering of a message for trace output (the full
@@ -77,13 +86,24 @@ pub fn summarize(msg: &Msg) -> String {
             from,
             proposals,
         } => format!("Proposal {nego} from {from} ({} offer(s))", proposals.len()),
-        Msg::Award { nego, task } => format!("Award {nego} {task:?}"),
-        Msg::Accept { nego, task, from } => format!("Accept {nego} {task:?} from {from}"),
-        Msg::Decline { nego, task, from } => format!("Decline {nego} {task:?} from {from}"),
+        Msg::Award { nego, task, round } => format!("Award {nego} {task:?} round {round}"),
+        Msg::Accept {
+            nego,
+            task,
+            from,
+            round,
+        } => format!("Accept {nego} {task:?} round {round} from {from}"),
+        Msg::Decline {
+            nego,
+            task,
+            from,
+            round,
+        } => format!("Decline {nego} {task:?} round {round} from {from}"),
         Msg::Heartbeat { nego, task, from } => {
             format!("Heartbeat {nego} {task:?} from {from}")
         }
         Msg::Release { nego } => format!("Release {nego}"),
+        Msg::LeaseRenew { nego } => format!("LeaseRenew {nego}"),
     }
 }
 
@@ -110,6 +130,10 @@ impl std::fmt::Display for TraceStep {
                 None => write!(f, "timer     n{node}    token {token:#x} @{}µs", fire_at.0),
             },
             TraceStep::Crash { node } => write!(f, "crash     n{node}    provider restart"),
+            TraceStep::Partition { mask } => {
+                write!(f, "partition       groups split by mask {mask:#b}")
+            }
+            TraceStep::Heal => write!(f, "heal            all links restored"),
         }
     }
 }

@@ -21,6 +21,9 @@
 //! * [`NetStats`] — message/latency counters for the T1 experiment.
 //! * [`FaultPlan`] / [`FaultSampler`] — drop/duplicate/reorder fault
 //!   injection, sharing one vocabulary with the `qosc-mc` model checker.
+//! * [`PartitionPlan`] / [`PartitionTimeline`] — link-level partition
+//!   and heal schedules (scripted or sampled), enforced identically at
+//!   delivery time by every backend.
 //! * [`ShardedSimulator`] — the same event loop partitioned into spatial
 //!   shards and run on worker threads under a conservative-lookahead
 //!   horizon protocol (see the [`shard`](crate::ShardedSimulator) docs).
@@ -47,7 +50,10 @@ mod sim;
 mod stats;
 mod time;
 
-pub use fault::{DeliveryFault, FaultPlan, FaultSampler};
+pub use fault::{
+    DeliveryFault, FaultPlan, FaultSampler, PartitionEvent, PartitionPlan, PartitionTimeline,
+    SampledPartitions,
+};
 pub use geometry::{Area, Point};
 pub use grid::NeighbourIndex;
 pub use mobility::{Mobility, MobilityState};

@@ -75,7 +75,7 @@ use crossbeam::utils::CachePadded;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::fault::{FaultPlan, FaultSampler};
+use crate::fault::{FaultPlan, FaultSampler, PartitionPlan, PartitionTimeline};
 use crate::geometry::Point;
 use crate::grid::NeighbourIndex;
 use crate::mobility::{Mobility, MobilityState};
@@ -163,6 +163,9 @@ struct Fabric<'a> {
     index: &'a NeighbourIndex,
     radio: &'a crate::radio::RadioModel,
     part: &'a Partition,
+    /// Expanded partition schedule (a read-only timestamp lookup, so it
+    /// is safely shared by every worker).
+    cuts: Option<&'a PartitionTimeline>,
 }
 
 /// Executes one Deliver/Timer/Down/Up event against shard `q`'s state.
@@ -260,6 +263,7 @@ fn apply_commands<M>(
         radio: fabric.radio,
         nodes: fabric.nodes,
         index: fabric.index,
+        cuts: fabric.cuts,
     };
     let local = fabric.part.local_of[anchor.0 as usize] as usize;
     // Assigns the next `(at, q, seq)` key and routes: events anchored
@@ -329,6 +333,8 @@ fn apply_commands<M>(
                             fault: st.fault.get_mut(local),
                             stats: &mut st.stats,
                         },
+                        src,
+                        dst,
                         dist,
                         now + latency,
                     );
@@ -459,6 +465,9 @@ pub struct ShardedSimulator<M> {
     rng: ChaCha8Rng,
     mobility_armed: bool,
     fault_plan: Option<FaultPlan>,
+    /// Expanded link-partition schedule (distinct from the node→shard
+    /// `part`itioning below); shared read-only with every worker.
+    partition: Option<PartitionTimeline>,
     /// Events scheduled before the partition froze, in call order.
     staged: Vec<(SimTime, EventKind<M>)>,
     part: Option<Partition>,
@@ -481,6 +490,7 @@ impl<M> ShardedSimulator<M> {
             rng,
             mobility_armed: false,
             fault_plan: None,
+            partition: None,
             staged: Vec::new(),
             part: None,
             shards: Vec::new(),
@@ -549,6 +559,16 @@ impl<M> ShardedSimulator<M> {
                 };
             }
         }
+    }
+
+    /// Installs a [`PartitionPlan`], expanded against the current node
+    /// count exactly like the sequential engine's
+    /// [`Simulator::set_partition_plan`](crate::Simulator::set_partition_plan):
+    /// same expansion, same per-delivery lookup, so both engines cut
+    /// exactly the same links. Install after every node has been added.
+    pub fn set_partition_plan(&mut self, plan: &PartitionPlan) {
+        let tl = plan.expand(self.nodes.len());
+        self.partition = (!tl.is_empty()).then_some(tl);
     }
 
     /// Current time.
@@ -837,6 +857,7 @@ impl<M> ShardedSimulator<M> {
                 index: &self.index,
                 radio: &self.config.radio,
                 part,
+                cuts: self.partition.as_ref(),
             };
             execute_event(
                 &fabric,
@@ -887,6 +908,7 @@ impl<M> ShardedSimulator<M> {
         let nodes = &self.nodes;
         let index = &self.index;
         let radio = &self.config.radio;
+        let cuts = self.partition.as_ref();
         let part_ref = &part;
         let clocks_ref = &clocks;
         let lookahead = part.lookahead.as_micros();
@@ -905,6 +927,7 @@ impl<M> ShardedSimulator<M> {
                         index,
                         radio,
                         part: part_ref,
+                        cuts,
                     },
                     lookahead,
                     deadline,

@@ -42,7 +42,7 @@ use std::sync::Arc;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::fault::{DeliveryFault, FaultPlan, FaultSampler};
+use crate::fault::{DeliveryFault, FaultPlan, FaultSampler, PartitionPlan, PartitionTimeline};
 use crate::geometry::{Area, Point};
 use crate::grid::NeighbourIndex;
 use crate::mobility::{Mobility, MobilityState};
@@ -316,6 +316,9 @@ pub struct Simulator<M> {
     /// events at different nodes interleave. An empty table keeps the
     /// delivery path bit-identical to a simulator without a fault layer.
     fault: Vec<FaultSampler>,
+    /// Expanded partition schedule, if one cuts anything; consulted at
+    /// delivery-planning time as a pure timestamp lookup.
+    partition: Option<PartitionTimeline>,
 }
 
 impl<M> Simulator<M> {
@@ -339,6 +342,7 @@ impl<M> Simulator<M> {
             cmd_scratch: Vec::new(),
             fault_plan: None,
             fault: Vec::new(),
+            partition: None,
         }
     }
 
@@ -355,6 +359,16 @@ impl<M> Simulator<M> {
                 .collect(),
             None => Vec::new(),
         };
+    }
+
+    /// Installs a [`PartitionPlan`], expanded against the current node
+    /// count: deliveries whose timestamp falls while the link is cut are
+    /// discarded. Install after every node has been added. A plan whose
+    /// timeline never changes connectivity uninstalls the layer,
+    /// restoring the exact no-partition event stream.
+    pub fn set_partition_plan(&mut self, plan: &PartitionPlan) {
+        let tl = plan.expand(self.nodes.len());
+        self.partition = (!tl.is_empty()).then_some(tl);
     }
 
     /// Adds a node at `pos` with the given mobility; returns its id.
@@ -542,6 +556,7 @@ impl<M> Simulator<M> {
             radio: &self.config.radio,
             nodes: &self.nodes,
             index: &self.index,
+            cuts: self.partition.as_ref(),
         }
         .plan_unicast(
             &mut Draws {
@@ -577,6 +592,7 @@ impl<M> Simulator<M> {
             radio: &self.config.radio,
             nodes: &self.nodes,
             index: &self.index,
+            cuts: self.partition.as_ref(),
         }
         .collect_broadcast_targets(&mut self.stats, src, &mut cands, &mut targets);
         self.cand_scratch = cands;
@@ -587,6 +603,7 @@ impl<M> Simulator<M> {
                 radio: &self.config.radio,
                 nodes: &self.nodes,
                 index: &self.index,
+                cuts: self.partition.as_ref(),
             }
             .plan_broadcast_copy(
                 &mut Draws {
@@ -594,6 +611,8 @@ impl<M> Simulator<M> {
                     fault: self.fault.get_mut(anchor.0 as usize),
                     stats: &mut self.stats,
                 },
+                src,
+                dst,
                 dist,
                 sent_at + latency,
             );
@@ -733,6 +752,10 @@ pub(crate) struct Medium<'a> {
     pub(crate) radio: &'a RadioModel,
     pub(crate) nodes: &'a [NodeSlot],
     pub(crate) index: &'a NeighbourIndex,
+    /// Expanded partition schedule, if one is installed. Consulted as a
+    /// pure timestamp lookup *after* all loss/fault draws, so installing
+    /// a schedule that never cuts is bit-identical to none at all.
+    pub(crate) cuts: Option<&'a PartitionTimeline>,
 }
 
 /// Mutable draw state of the node anchoring the current event: its RNG
@@ -777,11 +800,12 @@ impl Medium<'_> {
             draws.stats.unicasts_lost += 1;
             return [None, None];
         }
-        fault_times(
+        let times = fault_times(
             draws.fault.as_deref_mut(),
             now + self.radio.latency(bytes),
             draws.stats,
-        )
+        );
+        self.cut_partitioned(times, src, dst, draws.stats)
     }
 
     /// Resolves a broadcast's fan-out: bumps `broadcasts_sent`, then
@@ -817,12 +841,14 @@ impl Medium<'_> {
         );
     }
 
-    /// Decides one broadcast copy at distance `dist`: draws loss (a lost
-    /// copy counts as `broadcasts_lost`) and faults, returning the
-    /// delivery times to schedule.
+    /// Decides one broadcast copy from `src` to `dst` at distance `dist`:
+    /// draws loss (a lost copy counts as `broadcasts_lost`) and faults,
+    /// returning the delivery times to schedule.
     pub(crate) fn plan_broadcast_copy(
         &self,
         draws: &mut Draws<'_>,
+        src: NodeId,
+        dst: NodeId,
         dist: f64,
         base_at: SimTime,
     ) -> [Option<SimTime>; 2] {
@@ -830,7 +856,33 @@ impl Medium<'_> {
             draws.stats.broadcasts_lost += 1;
             return [None, None];
         }
-        fault_times(draws.fault.as_deref_mut(), base_at, draws.stats)
+        let times = fault_times(draws.fault.as_deref_mut(), base_at, draws.stats);
+        self.cut_partitioned(times, src, dst, draws.stats)
+    }
+
+    /// Applies the partition schedule to planned delivery copies: any
+    /// copy whose *delivery* timestamp falls while `src ↔ dst` is cut is
+    /// discarded (counted in `partition_cuts`). Runs after every random
+    /// draw and consumes none itself, so the sequential DES, the sharded
+    /// DES, and the direct runtime cut exactly the same links on the
+    /// same draws.
+    fn cut_partitioned(
+        &self,
+        mut times: [Option<SimTime>; 2],
+        src: NodeId,
+        dst: NodeId,
+        stats: &mut NetStats,
+    ) -> [Option<SimTime>; 2] {
+        let Some(cuts) = self.cuts else {
+            return times;
+        };
+        for slot in &mut times {
+            if slot.is_some_and(|at| cuts.cuts_at(at, src.0, dst.0)) {
+                *slot = None;
+                stats.partition_cuts += 1;
+            }
+        }
+        times
     }
 }
 

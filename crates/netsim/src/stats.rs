@@ -35,6 +35,9 @@ pub struct NetStats {
     pub faults_duplicated: u64,
     /// Delivery copies delayed (reordered) by the fault layer.
     pub faults_reordered: u64,
+    /// Delivery copies cut by a network partition (link down between
+    /// sender and receiver at the delivery timestamp).
+    pub partition_cuts: u64,
     /// Sum of delivery latencies (for the mean).
     latency_sum_us: u64,
     /// Number of latency samples.
@@ -92,6 +95,7 @@ impl NetStats {
         self.faults_dropped += other.faults_dropped;
         self.faults_duplicated += other.faults_duplicated;
         self.faults_reordered += other.faults_reordered;
+        self.partition_cuts += other.partition_cuts;
         self.latency_sum_us += other.latency_sum_us;
         self.latency_samples += other.latency_samples;
     }

@@ -24,7 +24,7 @@ use std::collections::BTreeMap;
 use proptest::prelude::*;
 
 use qosc_core::{NegoEvent, NegoId, Pid};
-use qosc_netsim::{FaultPlan, SimDuration, SimTime};
+use qosc_netsim::{FaultPlan, PartitionPlan, SimDuration, SimTime};
 use qosc_spec::TaskId;
 use qosc_workloads::{pedestrian, AppTemplate, Backend, ScenarioConfig};
 use rand::SeedableRng;
@@ -56,6 +56,34 @@ fn run_on(
         .expect("submit targets an organizer node");
     rt.run(SimTime(5_000_000));
     (rt.events().to_vec(), rt.messages_sent())
+}
+
+/// Same scenario, but with `plan` installed directly on the runtime
+/// (bypassing `ScenarioConfig::partitions`, which skips inert plans), so
+/// even a plan with no events is genuinely installed before the run.
+fn run_with_installed_plan(
+    backend: Backend,
+    config: &ScenarioConfig,
+    tasks: usize,
+    plan: &PartitionPlan,
+) -> (Vec<qosc_core::LoggedEvent>, u64) {
+    let mut rt = config.build_backend(backend);
+    assert!(
+        rt.set_partition_plan(plan),
+        "{} enforces partitions",
+        rt.backend_name()
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xE0_0001);
+    let svc = AppTemplate::Surveillance.service("svc", tasks, &mut rng);
+    rt.submit(0, svc, SimTime(1_000)).expect("node 0 organizes");
+    rt.run(SimTime(5_000_000));
+    (rt.events().to_vec(), rt.messages_sent())
+}
+
+/// Nodes `0..n` split into two halves (the canonical worst-case cut).
+fn halves(nodes: usize) -> Vec<Vec<u32>> {
+    let mid = (nodes / 2) as u32;
+    vec![(0..mid).collect(), (mid..nodes as u32).collect()]
 }
 
 /// Winner map of every settled negotiation: `nego → task → winning node`.
@@ -180,6 +208,70 @@ proptest! {
         prop_assert_eq!(winner_maps(&des_events), winner_maps(&sh_events),
             "faulted winner maps diverged (seed {}, {} nodes)", seed, nodes);
         prop_assert_eq!(des_msgs, sh_msgs, "faulted message counts diverged");
+    }
+
+    /// An installed partition plan that never cuts a delivery — no events
+    /// at all, or a split healed before the first send — leaves every
+    /// enforcing backend bit-identical to a run with no plan.
+    #[test]
+    fn inert_partition_plans_are_bit_identical(
+        seed in 0u64..10_000,
+        nodes in 2usize..12,
+        tasks in 1usize..3,
+    ) {
+        let cfg = config(nodes, seed);
+        // Split at t=0, healed at t=500 µs: the first send is the submit
+        // at t=1 ms, so no delivery ever lands while a link is cut.
+        let prehealed = PartitionPlan::none()
+            .partition_at(SimTime(0), halves(nodes))
+            .heal_at(SimTime(500));
+        for backend in [Backend::Des, Backend::DesSharded { workers: 1 }, Backend::Direct] {
+            let (plain_events, plain_msgs) = run_on(backend, &cfg, tasks, 0, None);
+            for plan in [PartitionPlan::none(), prehealed.clone()] {
+                let (cut_events, cut_msgs) =
+                    run_with_installed_plan(backend, &cfg, tasks, &plan);
+                prop_assert_eq!(&plain_events, &cut_events,
+                    "inert plan changed the {:?} log (seed {}, {} nodes)",
+                    backend, seed, nodes);
+                prop_assert_eq!(plain_msgs, cut_msgs,
+                    "inert plan changed {:?} message counts (seed {})", backend, seed);
+            }
+        }
+    }
+
+    /// Sharded vs sequential DES under the *same* partition schedule:
+    /// one worker stays bit-equal while links are cut, and parallel
+    /// workers stay outcome-pinned — a cut is a function of
+    /// `(timeline, sender, receiver, delivery time)`, never of the
+    /// thread schedule.
+    #[test]
+    fn multi_worker_partition_outcomes_match_des(
+        seed in 0u64..10_000,
+        nodes in 4usize..16,
+        tasks in 1usize..3,
+    ) {
+        let cfg = ScenarioConfig {
+            partitions: PartitionPlan::none()
+                .partition_at(SimTime(50_000), halves(nodes))
+                .heal_at(SimTime(400_000)),
+            ..config(nodes, seed)
+        };
+        let (des_events, des_msgs) = run_on(Backend::Des, &cfg, tasks, 0, None);
+        let (sh1_events, sh1_msgs) =
+            run_on(Backend::DesSharded { workers: 1 }, &cfg, tasks, 0, None);
+        prop_assert_eq!(&des_events, &sh1_events,
+            "one-worker partitioned log diverged (seed {}, {} nodes)", seed, nodes);
+        prop_assert_eq!(des_msgs, sh1_msgs);
+        for workers in [2usize, 4] {
+            let (sh_events, sh_msgs) =
+                run_on(Backend::DesSharded { workers }, &cfg, tasks, 0, None);
+            prop_assert_eq!(winner_maps(&des_events), winner_maps(&sh_events),
+                "partitioned winner maps diverged (seed {}, {} workers)", seed, workers);
+            prop_assert_eq!(settled_count(&des_events), settled_count(&sh_events),
+                "partitioned settled counts diverged (seed {}, {} workers)", seed, workers);
+            prop_assert_eq!(des_msgs, sh_msgs,
+                "partitioned message counts diverged (seed {}, {} workers)", seed, workers);
+        }
     }
 }
 

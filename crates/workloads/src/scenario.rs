@@ -15,8 +15,8 @@ use qosc_core::{
     OrganizerConfig, OrganizerEngine, ProviderConfig, ProviderEngine, Runtime,
 };
 use qosc_netsim::{
-    Area, Mobility, NetStats, RadioModel, ShardedSimulator, SimConfig, SimDuration, SimTime,
-    Simulator,
+    Area, Mobility, NetStats, PartitionPlan, RadioModel, ShardedSimulator, SimConfig, SimDuration,
+    SimTime, Simulator,
 };
 use qosc_resources::{NodeProfile, ResourceKind};
 use qosc_spec::ServiceDef;
@@ -71,6 +71,11 @@ pub struct ScenarioConfig {
     /// Provider tunables (shared; per-node link bandwidth is derived from
     /// the hardware profile and overrides the template's value).
     pub provider: ProviderConfig,
+    /// Link-level partition schedule, installed on every backend that
+    /// enforces cuts ([`Backend::Des`], [`Backend::DesSharded`],
+    /// [`Backend::Direct`]/[`Backend::DirectBatched`]; the actor
+    /// transport has no fault layer). Empty by default.
+    pub partitions: PartitionPlan,
     /// RNG seed (drives placement, population and the simulator).
     pub seed: u64,
 }
@@ -85,6 +90,7 @@ impl Default for ScenarioConfig {
             population: PopulationConfig::default(),
             organizer: OrganizerConfig::default(),
             provider: ProviderConfig::default(),
+            partitions: PartitionPlan::none(),
             seed: 0,
         }
     }
@@ -165,6 +171,15 @@ impl ScenarioConfig {
         for node in self.population_nodes() {
             rt.add_node(node).expect("sequential ids are unique");
         }
+        if !self.partitions.is_none() {
+            // The actor transport is the one backend without a fault
+            // layer; everywhere else the plan must take.
+            let applied = rt.set_partition_plan(&self.partitions);
+            debug_assert!(
+                applied || matches!(backend, Backend::Actor),
+                "backend {backend:?} rejected the partition plan"
+            );
+        }
         rt
     }
 
@@ -196,6 +211,9 @@ impl ScenarioConfig {
             runtime
                 .add_node(self.coalition_node(i as u32, profile))
                 .expect("sequential ids are unique");
+        }
+        if !self.partitions.is_none() {
+            runtime.set_partition_plan(&self.partitions);
         }
         runtime
     }
@@ -236,6 +254,9 @@ impl Scenario {
             runtime
                 .add_node(config.coalition_node(i as u32, profile))
                 .expect("sequential ids are unique");
+        }
+        if !config.partitions.is_none() {
+            runtime.set_partition_plan(&config.partitions);
         }
         Scenario { runtime, profiles }
     }
@@ -320,6 +341,45 @@ mod tests {
             e.event,
             NegoEvent::Formed { .. } | NegoEvent::FormationIncomplete { .. }
         )));
+    }
+
+    #[test]
+    fn partition_plan_cuts_links_and_heals() {
+        let split = |partitions: PartitionPlan| {
+            let config = ScenarioConfig {
+                nodes: 6,
+                area: Area::new(60.0, 60.0),
+                seed: 7,
+                partitions,
+                ..Default::default()
+            };
+            let mut scenario = Scenario::build(&config);
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let svc = AppTemplate::Surveillance.service("svc", 2, &mut rng);
+            scenario.submit(0, svc, SimTime(1_000));
+            scenario.run_until(SimTime(5_000_000));
+            (
+                scenario.net_stats().partition_cuts,
+                scenario.events().iter().any(|e| {
+                    matches!(
+                        e.event,
+                        NegoEvent::Formed { .. } | NegoEvent::FormationIncomplete { .. }
+                    )
+                }),
+            )
+        };
+        // A cut through the formation window drops deliveries; after the
+        // heal the round still concludes, one way or the other.
+        let plan = PartitionPlan::none()
+            .partition_at(SimTime(2_000), vec![vec![0, 1, 2], vec![3, 4, 5]])
+            .heal_at(SimTime(300_000));
+        let (cuts, settled) = split(plan);
+        assert!(cuts > 0, "the mid-CFP cut must block deliveries");
+        assert!(settled, "the negotiation must conclude after the heal");
+        // An empty plan leaves the run untouched.
+        let (cuts, settled) = split(PartitionPlan::none());
+        assert_eq!(cuts, 0);
+        assert!(settled);
     }
 
     #[test]
